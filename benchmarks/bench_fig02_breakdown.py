@@ -1,0 +1,19 @@
+"""Fig. 2: execution-time breakdown and overlap upper bounds.
+
+Regenerates the motivation figure: all-to-all dwarfs expert computation,
+so hiding only experts (Curr.) is a weak ceiling while hiding all-to-all
+(Opt.) is a strong one.
+"""
+
+from conftest import run_figure
+from repro.bench.figures import fig02
+
+
+def test_fig02_breakdown(benchmark):
+    result = run_figure(benchmark, fig02.run)
+    # paper shape: all-to-all exceeds expert computation significantly
+    assert result.notes["max_a2a_over_expert"] > 2.0
+    for row in result.rows:
+        # Curr. (hide experts) is a much weaker bound than Opt. (hide a2a)
+        assert row["opt_speedup"] > row["curr_speedup"]
+        assert 1.0 < row["curr_speedup"] < 1.3

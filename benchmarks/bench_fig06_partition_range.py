@@ -1,0 +1,25 @@
+"""Fig. 6: effect of partition range on forward time (both configs).
+
+The curve must be U-shaped (partitioning helps, over-partitioning hurts)
+and the DP-selected range must land at or near the sweep minimum.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench.figures import fig06
+
+
+@pytest.mark.parametrize("config", ["8L-s512-b64", "16L-s1024-b12"])
+def test_fig06_partition_range(benchmark, config):
+    result = run_figure(
+        benchmark,
+        fig06.run,
+        config=config,
+        range_points=(0.0, 1.0, 3.0, 6.0, 10.0),
+    )
+    assert result.notes["u_shape"], "expected U-shaped range/time curve"
+    assert result.notes["dp_within_pct_of_best"] < 10.0
+    sweep = [r for r in result.rows if isinstance(r["range_ms"], float)]
+    orig = next(r for r in result.rows if r["range_ms"] == "Orig.")
+    assert min(r["time_ms"] for r in sweep) < orig["time_ms"]

@@ -1,0 +1,25 @@
+"""Fig. 11: iteration time vs cluster size with the Switch gate.
+
+Full paper grid: {GPT2-S-MoE, GPT2-L-MoE} x {V100, A100} x {16, 32, 64}
+GPUs x {DeepSpeed, RAF, Tutel, Lancet}.  Lancet must win every setting;
+the paper reports up to 1.3x over the best baseline.
+"""
+
+from conftest import run_figure
+from repro.bench.figures import fig11
+
+
+def test_fig11_switch_gate(benchmark):
+    result = run_figure(benchmark, fig11.run, gate="switch")
+    # Lancet is fastest in every group
+    for row in result.rows:
+        if row["framework"] == "lancet":
+            assert row["speedup_vs_best_baseline"] > 1.0
+    assert 1.1 < result.notes["max_speedup"] < 1.6
+    assert result.notes["avg_speedup"] > 1.1
+    # weak scaling: iteration time grows with the GPU count
+    lancet = [r for r in result.rows if r["framework"] == "lancet"]
+    for a, b in zip(lancet, lancet[1:]):
+        same_series = (a["model"], a["cluster"]) == (b["model"], b["cluster"])
+        if same_series and a["gpus"] < b["gpus"]:
+            assert b["iteration_ms"] > a["iteration_ms"]

@@ -1,0 +1,17 @@
+"""Fig. 15: Lancet's optimization time.
+
+The partition pass dominates (the dW pass is a fast greedy); time grows
+with model depth, not GPU count.
+"""
+
+from conftest import run_figure
+from repro.bench.figures import fig15
+
+
+def test_fig15_optimization_time(benchmark):
+    result = run_figure(benchmark, fig15.run)
+    assert result.notes["partition_pass_dominates"]
+    assert result.notes["larger_model_slower"]
+    for row in result.rows:
+        # the whole point of rho/gamma/iota: optimization stays tractable
+        assert row["total_s"] < 120.0

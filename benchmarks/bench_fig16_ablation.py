@@ -1,0 +1,42 @@
+"""Fig. 16: ablation of the two passes on 4 nodes.
+
+Full Lancet must beat either pass alone; the paper finds GPT2-L-MoE is
+hurt more by removing the dW schedule (higher partition overheads make
+backward overlap relatively more valuable).
+"""
+
+from conftest import run_figure
+from repro.bench.figures import fig16
+
+
+def test_fig16_ablation(benchmark):
+    result = run_figure(benchmark, fig16.run)
+    # full >= each pass alone (up to comm-stream contention tolerance)
+    assert result.notes["full_beats_each_alone"]
+
+    def sp(cluster, model, ablation):
+        return next(
+            r["speedup_vs_raf"]
+            for r in result.rows
+            if (r["cluster"], r["model"], r["ablation"]) == (cluster, model, ablation)
+        )
+
+    for cluster in ("v100", "a100"):
+        for model in ("GPT2-S-MoE", "GPT2-L-MoE"):
+            assert sp(cluster, model, "baseline") == 1.0
+            assert sp(cluster, model, "-dW Schedule") > 1.0
+            assert sp(cluster, model, "-Pipeline") > 1.0
+            assert sp(cluster, model, "full") > 1.05
+            # each single pass is worse than full by a visible margin on
+            # at least one axis -- both passes contribute
+    avgs = {
+        abl: sum(
+            sp(c, m, abl)
+            for c in ("v100", "a100")
+            for m in ("GPT2-S-MoE", "GPT2-L-MoE")
+        )
+        / 4.0
+        for abl in ("-dW Schedule", "-Pipeline", "full")
+    }
+    assert avgs["full"] > avgs["-dW Schedule"]
+    assert avgs["full"] > avgs["-Pipeline"]

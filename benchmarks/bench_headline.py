@@ -1,0 +1,11 @@
+"""Headline claims of the abstract: up to 77% less non-overlapped
+communication and up to 1.3x end-to-end speedup."""
+
+from conftest import run_figure
+from repro.bench.figures import headline
+
+
+def test_headline_claims(benchmark):
+    result = run_figure(benchmark, headline.run)
+    assert result.notes["max_comm_reduction_pct"] > 55.0
+    assert 1.15 < result.notes["max_speedup"] < 1.6

@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers: run a figure once, record, and persist."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_figure(benchmark, runner, **kwargs):
+    """Benchmark one figure runner (single round: these are experiment
+    harnesses, not micro-benchmarks) and persist its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{result.figure}.txt"
+    notes = "\n".join(
+        f"  {k}: {v}" for k, v in result.notes.items() if k != "reductions"
+    )
+    out.write_text(f"{result.table}\n\nnotes:\n{notes}\n")
+    print(f"\n{result.table}\nnotes:\n{notes}")
+    return result
+
+
+@pytest.fixture(autouse=True)
+def _shared_measurement_cache():
+    """Benchmarks share the harness measurement cache within a session
+    (figures legitimately reuse grid points, as in the paper)."""
+    yield

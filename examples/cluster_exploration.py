@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Explore where Lancet helps: sweep cluster bandwidth and expert load.
+
+The benefit of whole-graph overlap depends on how exposed the all-to-all
+is: slow interconnects and hot experts make communication dominate, fast
+fabrics shrink the opportunity.  This example sweeps (i) the per-node
+NIC bandwidth and (ii) the routing imbalance, reporting Lancet's speedup
+over RAF at each point -- the kind of sensitivity study a systems reader
+does before adopting a technique.
+
+Run:  python examples/cluster_exploration.py
+"""
+
+import dataclasses
+
+from repro import (
+    ClusterSpec,
+    GPT2MoEConfig,
+    LancetOptimizer,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    build_training_graph,
+    simulate_program,
+)
+
+
+def measure(cluster, graph, concentration=8.0):
+    opt, report = LancetOptimizer(cluster).optimize(graph)
+    base_sim = SimulationConfig(
+        cluster=cluster, padded_a2a=True,
+        routing=SyntheticRoutingModel(seed=1, concentration=concentration),
+    )
+    lan_sim = SimulationConfig(
+        cluster=cluster, padded_a2a=False,
+        routing=SyntheticRoutingModel(seed=1, concentration=concentration),
+    )
+    t0 = simulate_program(graph.program, config=base_sim)
+    t1 = simulate_program(opt, config=lan_sim)
+    return t0.makespan, t1.makespan, t0.exposed_time_of({"all_to_all"})
+
+
+def main() -> None:
+    cfg = GPT2MoEConfig.gpt2_s_moe()
+    graph = build_training_graph(cfg, batch=24, seq=512, num_gpus=16)
+
+    print("=== NIC bandwidth sweep (16x A100, 2 nodes) ===")
+    print(f"{'NIC GB/s/node':>14s} {'RAF ms':>8s} {'Lancet ms':>10s} "
+          f"{'speedup':>8s} {'exposed a2a ms':>15s}")
+    base = ClusterSpec.p4de(2)
+    for nic in (12.5, 25.0, 50.0, 100.0, 200.0):
+        cluster = dataclasses.replace(base, node_nic_gbps=nic,
+                                      name=f"p4de-nic{nic:.0f}")
+        t_raf, t_lan, exposed = measure(cluster, graph)
+        print(f"{nic:14.1f} {t_raf:8.1f} {t_lan:10.1f} "
+              f"{t_raf / t_lan:8.2f} {exposed:15.1f}")
+    print("-> slower fabrics expose more all-to-all; Lancet's advantage "
+          "grows as communication dominates.")
+
+    print("\n=== expert load imbalance sweep (Dirichlet concentration) ===")
+    print(f"{'concentration':>14s} {'RAF ms':>8s} {'Lancet ms':>10s} {'speedup':>8s}")
+    for conc in (0.5, 2.0, 8.0, 64.0):
+        t_raf, t_lan, _ = measure(base, graph, concentration=conc)
+        print(f"{conc:14.1f} {t_raf:8.1f} {t_lan:10.1f} {t_raf / t_lan:8.2f}")
+    print("-> baselines always pay the full padded buffer, while Lancet's "
+          "irregular all-to-all moves only realized (capacity-capped) "
+          "tokens, so its edge even grows slightly under heavy skew.")
+
+
+if __name__ == "__main__":
+    main()

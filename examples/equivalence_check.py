@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Mathematical equivalence: optimized training is bit-identical.
+
+The paper's central correctness claim (Sec. 1): all of Lancet's
+transformations -- dW rescheduling, capacity-passing partitioned gating,
+pipelined irregular all-to-alls -- preserve mathematical equivalence.
+
+This example *trains* a small MoE model for several steps twice, once
+with the original schedule and once with a forced 4-way partition
+pipeline plus dW scheduling, executing real numpy tensors on the
+simulated multi-device runtime, and shows the loss curves agree to the
+last bit.
+
+Run:  python examples/equivalence_check.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, GPT2MoEConfig, build_training_graph, validate
+from repro.core import (
+    CachingOpProfiler,
+    CommCostModel,
+    CostEstimator,
+    WeightGradSchedulePass,
+)
+from repro.core.partition import RangePlan, apply_plan, infer_axes
+from repro.runtime import COMPILED
+from repro.train import Trainer
+
+
+def force_partition(graph, parts=4):
+    """Partition the first MoE layer's surroundings into a pipeline."""
+    program = graph.program.clone()
+    pos = program.instr_index()
+    ml = graph.moe_layers[0]
+    start = pos[ml.gate_matmul_uid] - 1  # include the MoE layernorm
+    end = pos[ml.combine_uid] + 2  # include the residual add
+    instrs = program.instructions[start:end]
+    axes = infer_axes(instrs, program)
+    assert axes is not None
+    apply_plan(
+        program,
+        RangePlan(start=start, end=end, parts=parts, axes=axes,
+                  predicted_ms=0.0, sequential_ms=0.0),
+    )
+    return program
+
+
+def main() -> None:
+    cfg = GPT2MoEConfig.tiny()
+    graph = build_training_graph(cfg, batch=8, seq=8, num_gpus=2)
+
+    # Lancet transformations: dW schedule + a forced 4-way pipeline
+    cluster = ClusterSpec.for_gpus("a100", 2)
+    costs = CostEstimator(
+        CachingOpProfiler(gpu=cluster.gpu, framework=COMPILED),
+        CommCostModel(cluster),
+    )
+    optimized = force_partition(graph, parts=4)
+    optimized = WeightGradSchedulePass(costs).run(optimized)
+    validate(optimized)
+    print(f"original: {len(graph.program)} instructions; "
+          f"optimized: {len(optimized)} instructions")
+
+    steps = 5
+    base = Trainer(graph, seed=7)
+    opt = Trainer(graph, program=optimized, seed=7)
+    print(f"\ntraining {steps} steps on {graph.num_gpus} simulated devices:")
+    print(f"{'step':>4s}  {'baseline loss':>16s}  {'optimized loss':>16s}  equal")
+    for s in range(steps):
+        rb = base.step()
+        ro = opt.step()
+        same = np.array_equal(np.array(rb.losses), np.array(ro.losses))
+        print(f"{s:4d}  {rb.mean_loss:16.12f}  {ro.mean_loss:16.12f}  {same}")
+        assert same, "optimized schedule diverged -- equivalence violated!"
+
+    print("\nloss trajectories are bit-identical: the optimized schedule is "
+          "mathematically equivalent.")
+
+
+if __name__ == "__main__":
+    main()

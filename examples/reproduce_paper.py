@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Reproduce every figure of the paper in one run.
+
+Runs all figure experiments (Fig. 2, 6, 11, 12, 13, 14, 15, 16 plus the
+headline claims) and prints the tables.  Pass figure ids to run a
+subset, and --fast for reduced grids:
+
+    python examples/reproduce_paper.py              # everything
+    python examples/reproduce_paper.py fig06 fig13  # a subset
+    python examples/reproduce_paper.py --fast       # smaller grids
+"""
+
+import sys
+import time
+
+from repro.bench import ALL_FIGURES
+
+FAST_OVERRIDES = {
+    "fig06": dict(range_points=(0.0, 1.0, 3.0, 8.0)),
+    "fig11": dict(gpu_counts=(16, 32)),
+    "fig12": dict(gpu_counts=(16, 32)),
+    "fig14": dict(gpu_counts=(16, 32)),
+    "fig15": dict(gpu_counts=(16, 32)),
+    "fig16": dict(models=("GPT2-S-MoE",)),
+    "headline": dict(gpu_counts=(16,)),
+}
+
+
+def main(argv: list[str]) -> None:
+    fast = "--fast" in argv
+    wanted = [a for a in argv if not a.startswith("-")]
+    figures = {k: v for k, v in ALL_FIGURES.items() if not wanted or k in wanted}
+    if not figures:
+        raise SystemExit(f"unknown figures {wanted}; pick from {list(ALL_FIGURES)}")
+
+    for name, runner in figures.items():
+        kwargs = FAST_OVERRIDES.get(name, {}) if fast else {}
+        t0 = time.perf_counter()
+        result = runner(**kwargs)
+        dt = time.perf_counter() - t0
+        print("=" * 78)
+        print(f"{result.figure}: {result.description}   ({dt:.1f}s)")
+        print("=" * 78)
+        print(result.table)
+        if result.notes:
+            print("\nnotes:")
+            for k, v in result.notes.items():
+                if k == "reductions":
+                    continue
+                print(f"  {k}: {v}")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

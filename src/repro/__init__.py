@@ -1,0 +1,61 @@
+"""repro: a reproduction of Lancet (MLSys 2024).
+
+Lancet accelerates Mixture-of-Experts training by overlapping all-to-all
+communication with computation across the *whole* training graph: weight-
+gradient computations are rescheduled to hide backward-pass all-to-alls,
+and non-MoE forward computation is partitioned into a computation/
+communication pipeline around each MoE layer.
+
+Typical usage::
+
+    from repro import (
+        GPT2MoEConfig, build_training_graph, ClusterSpec, LancetOptimizer,
+        SimulationConfig, simulate_program,
+    )
+
+    graph = build_training_graph(GPT2MoEConfig.gpt2_s_moe(),
+                                 batch=24, seq=512, num_gpus=16)
+    cluster = ClusterSpec.p4de(2)
+    optimized, report = LancetOptimizer(cluster).optimize(graph)
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    LancetHyperParams,
+    LancetOptimizer,
+    LancetReport,
+    OperatorPartitionPass,
+    WeightGradSchedulePass,
+)
+from .ir import InstrKind, PassManager, Program, validate
+from .models import GPT2MoEConfig, ModelGraph, RunConfig, build_training_graph
+from .runtime import (
+    ClusterSpec,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    Timeline,
+    simulate_program,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "GPT2MoEConfig",
+    "InstrKind",
+    "LancetHyperParams",
+    "LancetOptimizer",
+    "LancetReport",
+    "ModelGraph",
+    "OperatorPartitionPass",
+    "PassManager",
+    "Program",
+    "RunConfig",
+    "SimulationConfig",
+    "SyntheticRoutingModel",
+    "Timeline",
+    "WeightGradSchedulePass",
+    "build_training_graph",
+    "simulate_program",
+    "validate",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures [ids...] [--fast]``
+    Reproduce paper figures (default: all) and print the tables.
+``optimize [--model S|L] [--cluster a100|v100] [--gpus N]``
+    Optimize one training graph and report the schedule + simulated gain.
+``list``
+    List available figure ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .bench import ALL_FIGURES
+
+    wanted = args.ids or list(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {list(ALL_FIGURES)}")
+        return 2
+    fast_overrides = {
+        "fig06": dict(range_points=(0.0, 1.0, 3.0, 8.0)),
+        "fig11": dict(gpu_counts=(16, 32)),
+        "fig12": dict(gpu_counts=(16, 32)),
+        "fig14": dict(gpu_counts=(16, 32)),
+        "fig15": dict(gpu_counts=(16, 32)),
+        "fig16": dict(models=("GPT2-S-MoE",)),
+        "headline": dict(gpu_counts=(16,)),
+    }
+    for fig in wanted:
+        kwargs = fast_overrides.get(fig, {}) if args.fast else {}
+        result = ALL_FIGURES[fig](**kwargs)
+        print("=" * 72)
+        print(result.table)
+        for k, v in result.notes.items():
+            if k != "reductions":
+                print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from . import (
+        GPT2MoEConfig,
+        LancetOptimizer,
+        SimulationConfig,
+        build_training_graph,
+        simulate_program,
+    )
+    from .bench import paper_batch
+    from .runtime import ClusterSpec, SyntheticRoutingModel
+
+    model = "GPT2-S-MoE" if args.model.upper().startswith("S") else "GPT2-L-MoE"
+    cfg = (
+        GPT2MoEConfig.gpt2_s_moe()
+        if model == "GPT2-S-MoE"
+        else GPT2MoEConfig.gpt2_l_moe()
+    )
+    batch = args.batch or paper_batch(args.cluster, model)
+    graph = build_training_graph(
+        cfg, batch=batch, seq=args.seq, num_gpus=args.gpus
+    )
+    cluster = ClusterSpec.for_gpus(args.cluster, args.gpus)
+    optimized, report = LancetOptimizer(
+        cluster, defer_allreduce=args.defer_allreduce
+    ).optimize(graph)
+
+    before = simulate_program(
+        graph.program,
+        config=SimulationConfig(
+            cluster=cluster, padded_a2a=True, routing=SyntheticRoutingModel(seed=1)
+        ),
+    )
+    after = simulate_program(
+        optimized,
+        config=SimulationConfig(
+            cluster=cluster, padded_a2a=False, routing=SyntheticRoutingModel(seed=1)
+        ),
+    )
+    print(f"{model} batch={batch} seq={args.seq} on {args.gpus}x{cluster.gpu.name}")
+    print(f"  optimization: {report.optimization_seconds:.2f}s "
+          f"({report.dw_schedule.num_dw_moved} dW moved, "
+          f"{len(report.partition.plans)} pipelines "
+          f"k={[p.parts for p in report.partition.plans]})")
+    print(f"  iteration: {before.makespan:.1f} ms -> {after.makespan:.1f} ms "
+          f"({before.makespan / after.makespan:.2f}x)")
+    e0 = before.exposed_time_of({"all_to_all"})
+    e1 = after.exposed_time_of({"all_to_all"})
+    print(f"  exposed all-to-all: {e0:.1f} ms -> {e1:.1f} ms "
+          f"(-{100 * (1 - e1 / max(e0, 1e-9)):.0f}%)")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .bench import ALL_FIGURES
+
+    for fig in ALL_FIGURES:
+        print(fig)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Lancet (MLSys 2024) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="reproduce paper figures")
+    p_fig.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    p_fig.add_argument("--fast", action="store_true", help="reduced grids")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_opt = sub.add_parser("optimize", help="optimize one training graph")
+    p_opt.add_argument("--model", default="S", help="S or L (default S)")
+    p_opt.add_argument("--cluster", default="a100", choices=["a100", "v100"])
+    p_opt.add_argument("--gpus", type=int, default=16)
+    p_opt.add_argument("--batch", type=int, default=None)
+    p_opt.add_argument("--seq", type=int, default=512)
+    p_opt.add_argument(
+        "--defer-allreduce", action="store_true",
+        help="enable the Lina-style a2a-priority extension",
+    )
+    p_opt.set_defaults(fn=_cmd_optimize)
+
+    p_list = sub.add_parser("list", help="list figure ids")
+    p_list.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

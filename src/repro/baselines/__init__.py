@@ -1,0 +1,35 @@
+"""Baseline framework schedules (paper Sec. 7).
+
+Each baseline couples an execution-stack profile with a schedule
+transformation:
+
+* **DeepSpeed** -- eager PyTorch stack without Tutel's dispatch kernels;
+  no computation/communication overlap.
+* **RAF** -- the compiler stack Lancet builds on, unmodified schedule
+  (fused kernels, no overlap).
+* **Tutel** -- eager stack with fast dispatch kernels plus capacity-dim
+  partitioning of [all-to-all, experts, all-to-all], searching the
+  overlap degree in {1, 2, 4, 8} (exactly the paper's methodology).
+* **Lancet** -- RAF plus the two optimization passes and irregular
+  all-to-alls.
+"""
+
+from .frameworks import (
+    BaselineResult,
+    DeepSpeedBaseline,
+    Framework,
+    LancetFramework,
+    RAFBaseline,
+    TutelBaseline,
+    make_framework,
+)
+
+__all__ = [
+    "BaselineResult",
+    "DeepSpeedBaseline",
+    "Framework",
+    "LancetFramework",
+    "RAFBaseline",
+    "TutelBaseline",
+    "make_framework",
+]

@@ -1,0 +1,20 @@
+"""Per-figure experiment runners (one module per paper figure)."""
+
+from . import fig02, fig06, fig11, fig13, fig14, fig15, fig16, headline
+from .common import FigureResult
+
+#: figure id -> callable returning a FigureResult (fig12 is fig11 with
+#: the Batch Prioritized gate, as in the paper)
+ALL_FIGURES = {
+    "fig02": fig02.run,
+    "fig06": fig06.run,
+    "fig11": lambda **kw: fig11.run(gate="switch", **kw),
+    "fig12": lambda **kw: fig11.run(gate="bpr", **kw),
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "headline": headline.run,
+}
+
+__all__ = ["ALL_FIGURES", "FigureResult"]

@@ -1,0 +1,83 @@
+"""Shared helpers for the per-figure experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core import CachingOpProfiler, CommCostModel, CostEstimator
+from ...models import GPT2MoEConfig, build_training_graph
+from ...models.gpt2_moe import ModelGraph, build_forward
+from ...runtime import (
+    COMPILED,
+    ClusterSpec,
+    FrameworkProfile,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    Timeline,
+    simulate_program,
+)
+
+
+@dataclass
+class FigureResult:
+    """Outcome of reproducing one paper figure."""
+
+    figure: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    table: str = ""
+    notes: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.figure}] {self.description}\n{self.table}"
+
+
+def make_costs(
+    cluster: ClusterSpec, framework: FrameworkProfile = COMPILED
+) -> CostEstimator:
+    """Cost estimator (profiler + comm model) for a cluster."""
+    return CostEstimator(
+        CachingOpProfiler(gpu=cluster.gpu, framework=framework),
+        CommCostModel(cluster),
+    )
+
+
+def simulate(
+    program,
+    cluster: ClusterSpec,
+    framework: FrameworkProfile = COMPILED,
+    padded_a2a: bool = True,
+    seed: int = 1,
+) -> Timeline:
+    """One-iteration ground-truth simulation."""
+    cfg = SimulationConfig(
+        cluster=cluster,
+        framework=framework,
+        padded_a2a=padded_a2a,
+        routing=SyntheticRoutingModel(seed=seed),
+    )
+    return simulate_program(program, config=cfg)
+
+
+def forward_time_ms(timeline: Timeline, program) -> float:
+    """End time of the last forward-pass instruction."""
+    from ...ir import InstrKind
+
+    fwd_uids = {
+        i.uid
+        for i in program.instructions
+        if i.kind in (InstrKind.FORWARD, InstrKind.COMM)
+    }
+    # communication also appears in backward; bound by first DX instead
+    first_bwd = None
+    for pos, i in enumerate(program.instructions):
+        if i.kind in (InstrKind.DX, InstrKind.DW):
+            first_bwd = pos
+            break
+    if first_bwd is None:
+        return timeline.makespan
+    fwd_uids = {i.uid for i in program.instructions[:first_bwd]}
+    return max(
+        (iv.end for iv in timeline.intervals if iv.uid in fwd_uids),
+        default=0.0,
+    )

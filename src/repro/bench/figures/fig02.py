@@ -1,0 +1,94 @@
+"""Figure 2: execution-time breakdown and overlap upper bounds.
+
+Paper: GPT-2 MoE with Tutel and DeepSpeed on p3dn (V100), 16 and 32 GPUs.
+Three bars per framework: *Orig.* (unoptimized), *Curr.* (upper bound of
+current methods: expert computation completely hidden by all-to-all) and
+*Opt.* (ideal: all-to-all fully overlapped by computation).  The headline
+observation: all-to-all time far exceeds expert time, so Curr.'s ceiling
+is low while Opt.'s is high.
+"""
+
+from __future__ import annotations
+
+from ...models import build_training_graph
+from ...runtime import DEEPSPEED, TUTEL, ClusterSpec
+from ..formatting import format_table
+from ..harness import EXPERT_OPS_ALL, model_by_name, paper_batch
+from .common import FigureResult, simulate
+
+PROFILES = {"tutel": TUTEL, "deepspeed": DEEPSPEED}
+
+
+def run(gpu_counts=(16, 32), cluster_kind: str = "v100") -> FigureResult:
+    """Reproduce the Fig. 2 breakdown (values in ms)."""
+    rows = []
+    for gpus in gpu_counts:
+        cfg = model_by_name("GPT2-S-MoE")
+        batch = paper_batch(cluster_kind, "GPT2-S-MoE")
+        graph = build_training_graph(cfg, batch=batch, seq=512, num_gpus=gpus)
+        cluster = ClusterSpec.for_gpus(cluster_kind, gpus)
+        for fw, profile in PROFILES.items():
+            tl = simulate(graph.program, cluster, profile)
+            total = tl.makespan
+            a2a = tl.total_time_of({"all_to_all"})
+            expert = tl.total_time_of(EXPERT_OPS_ALL)
+            others = total - a2a - expert
+            comp_total = tl.breakdown().comp_total
+            # Curr.: expert computation completely hidden by all-to-all
+            curr = total - min(expert, a2a)
+            # Opt.: all-to-all fully overlapped by computation
+            opt = total - min(a2a, comp_total)
+            rows.append(
+                {
+                    "gpus": gpus,
+                    "framework": fw,
+                    "a2a_ms": a2a,
+                    "expert_ms": expert,
+                    "others_ms": others,
+                    "orig_ms": total,
+                    "curr_ms": curr,
+                    "opt_ms": opt,
+                    "curr_speedup": total / curr,
+                    "opt_speedup": total / opt,
+                    "a2a_over_expert": a2a / expert,
+                }
+            )
+
+    table = format_table(
+        [
+            "GPUs",
+            "Framework",
+            "A2A",
+            "Expert",
+            "Others",
+            "Orig.",
+            "Curr.",
+            "Opt.",
+            "Curr x",
+            "Opt x",
+        ],
+        [
+            [
+                r["gpus"],
+                r["framework"],
+                r["a2a_ms"],
+                r["expert_ms"],
+                r["others_ms"],
+                r["orig_ms"],
+                r["curr_ms"],
+                r["opt_ms"],
+                r["curr_speedup"],
+                r["opt_speedup"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 2 - breakdown + overlap upper bounds (GPT2-S-MoE, "
+        f"{cluster_kind})",
+    )
+    notes = {
+        "paper_curr_speedups": "1.09x-1.16x",
+        "paper_opt_speedups": "1.29x-1.48x",
+        "paper_a2a_over_expert": "up to 3.36x",
+        "max_a2a_over_expert": max(r["a2a_over_expert"] for r in rows),
+    }
+    return FigureResult("fig02", "breakdown and overlap bounds", rows, table, notes)

@@ -1,0 +1,130 @@
+"""Figure 6: effect of the partition range on forward time.
+
+Paper: GPT-2 MoE forward pass on 16 A100 GPUs (32 experts), sweeping how
+many non-MoE ops (measured by execution time, ms) before and after each
+MoE layer are partitioned into the pipeline.  Two configurations:
+(a) 8 layers, seq 512, batch 64 and (b) 16 layers, seq 1024, batch 12.
+The curve is U-shaped -- too little partitioning leaves all-to-all
+exposed, too much pays partition overhead -- and the DP solution should
+sit at or near the minimum.
+"""
+
+from __future__ import annotations
+
+from ...core.partition import RangePlan, apply_plans, infer_axes, plan_partitions
+from ...models import GPT2MoEConfig
+from ...models.gpt2_moe import build_forward
+from ...runtime import ClusterSpec
+from ..formatting import format_table
+from .common import FigureResult, make_costs, simulate
+
+CONFIGS = {
+    "8L-s512-b64": dict(num_layers=8, seq=512, batch=64),
+    "16L-s1024-b12": dict(num_layers=16, seq=1024, batch=12),
+}
+
+
+def _plans_for_range(graph, costs, range_ms: float, parts: int):
+    """Fixed-extent plans: each MoE layer's core plus ~range_ms of ops
+    on each side (clamped so consecutive ranges stay disjoint)."""
+    p = graph.program
+    pos = p.instr_index()
+    durations = [costs.duration_ms(i, p) for i in p.instructions]
+    plans = []
+    prev_end = 0
+    for ml in graph.moe_layers:
+        start = pos[ml.dispatch_uid]
+        end = pos[ml.a2a_second_uid] + 1
+        acc = 0.0
+        while start - 1 >= prev_end and acc < range_ms:
+            nxt = p.instructions[start - 1]
+            if nxt.op == "cross_entropy":
+                break
+            acc += durations[start - 1]
+            start -= 1
+        acc = 0.0
+        while end < len(p.instructions) and acc < range_ms:
+            nxt = p.instructions[end]
+            if nxt.op in ("cross_entropy", "routing"):
+                break
+            acc += durations[end]
+            end += 1
+        instrs = p.instructions[start:end]
+        axes = infer_axes(instrs, p)
+        if axes is None:
+            # fall back: shrink to the MoE block itself
+            start = pos[ml.dispatch_uid]
+            end = pos[ml.combine_uid] + 1
+            instrs = p.instructions[start:end]
+            axes = infer_axes(instrs, p)
+            if axes is None:
+                continue
+        plans.append(
+            RangePlan(start=start, end=end, parts=parts, axes=axes,
+                      predicted_ms=0.0, sequential_ms=0.0)
+        )
+        prev_end = end
+    return plans
+
+
+def run(
+    config: str = "8L-s512-b64",
+    num_gpus: int = 16,
+    range_points=(0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0),
+    parts: int = 4,
+) -> FigureResult:
+    """Sweep the partition range for one Fig. 6 configuration."""
+    c = CONFIGS[config]
+    cfg = GPT2MoEConfig.gpt2_s_moe(num_layers=c["num_layers"])
+    graph = build_forward(cfg, batch=c["batch"], seq=c["seq"], num_gpus=num_gpus)
+    cluster = ClusterSpec.for_gpus("a100", num_gpus)
+    costs = make_costs(cluster)
+
+    base_tl = simulate(graph.program, cluster, padded_a2a=True)
+    orig_ms = base_tl.makespan
+
+    rows = [
+        {"range_ms": "Orig.", "time_ms": orig_ms, "normalized": 1.0, "parts": 1}
+    ]
+    for r in range_points:
+        plans = _plans_for_range(graph, costs, r, parts)
+        prog = graph.program.clone()
+        apply_plans(prog, plans)
+        tl = simulate(prog, cluster, padded_a2a=False)
+        rows.append(
+            {
+                "range_ms": r,
+                "time_ms": tl.makespan,
+                "normalized": tl.makespan / orig_ms,
+                "parts": parts,
+            }
+        )
+
+    # the DP solution of the partition pass
+    dp = plan_partitions(graph.program, costs)
+    prog = graph.program.clone()
+    apply_plans(prog, dp.plans)
+    tl = simulate(prog, cluster, padded_a2a=False)
+    dp_row = {
+        "range_ms": "DP",
+        "time_ms": tl.makespan,
+        "normalized": tl.makespan / orig_ms,
+        "parts": [pl.parts for pl in dp.plans],
+    }
+    rows.append(dp_row)
+
+    table = format_table(
+        ["Partition range (ms)", "Fwd time (ms)", "Normalized", "k"],
+        [[r["range_ms"], r["time_ms"], r["normalized"], r["parts"]] for r in rows],
+        title=f"Fig. 6 ({config}) - partition range vs forward time",
+    )
+    sweep = [r for r in rows if isinstance(r["range_ms"], float)]
+    best = min(sweep, key=lambda r: r["time_ms"])
+    notes = {
+        "u_shape": sweep[-1]["time_ms"] > best["time_ms"],
+        "dp_within_pct_of_best": 100.0
+        * (dp_row["time_ms"] - best["time_ms"])
+        / best["time_ms"],
+        "paper": "U-shaped curve; DP solution at/near the minimum",
+    }
+    return FigureResult("fig06", f"partition range sweep ({config})", rows, table, notes)

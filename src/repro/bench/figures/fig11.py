@@ -1,0 +1,98 @@
+"""Figures 11 & 12: training iteration time vs cluster size.
+
+Paper: weak scaling (fixed per-GPU batch) on 16/32/64 GPUs, both models,
+both clusters.  Fig. 11 uses the Switch gate and compares DeepSpeed, RAF,
+Tutel and Lancet; Fig. 12 uses the Batch Prioritized gate and compares
+RAF, Tutel and Lancet.  Lancet wins everywhere, by up to ~1.2-1.3x.
+"""
+
+from __future__ import annotations
+
+from ..formatting import format_table
+from ..harness import PAPER_GPU_COUNTS, Measurement, Setting, run_setting
+from .common import FigureResult
+
+SWITCH_FRAMEWORKS = ("deepspeed", "raf", "tutel", "lancet")
+BPR_FRAMEWORKS = ("raf", "tutel", "lancet")
+
+
+def run(
+    gate: str = "switch",
+    models=("GPT2-S-MoE", "GPT2-L-MoE"),
+    clusters=("v100", "a100"),
+    gpu_counts=PAPER_GPU_COUNTS,
+    frameworks=None,
+) -> FigureResult:
+    """Reproduce one gate's iteration-time grid."""
+    if frameworks is None:
+        frameworks = SWITCH_FRAMEWORKS if gate == "switch" else BPR_FRAMEWORKS
+    figure = "fig11" if gate == "switch" else "fig12"
+
+    rows = []
+    speedups = []
+    for model in models:
+        for cluster in clusters:
+            for gpus in gpu_counts:
+                group: dict[str, Measurement] = {}
+                for fw in frameworks:
+                    m = run_setting(
+                        Setting(
+                            model=model,
+                            cluster_kind=cluster,
+                            num_gpus=gpus,
+                            framework=fw,
+                            gate=gate,
+                        )
+                    )
+                    group[fw] = m
+                best_baseline = min(
+                    v.iteration_ms for k, v in group.items() if k != "lancet"
+                )
+                speedup = best_baseline / group["lancet"].iteration_ms
+                speedups.append(speedup)
+                for fw in frameworks:
+                    m = group[fw]
+                    rows.append(
+                        {
+                            "model": model,
+                            "cluster": cluster,
+                            "gpus": gpus,
+                            "framework": fw,
+                            "iteration_ms": m.iteration_ms,
+                            "exposed_a2a_ms": m.exposed_a2a_ms,
+                            "speedup_vs_best_baseline": (
+                                speedup if fw == "lancet" else None
+                            ),
+                            "info": {
+                                k: v
+                                for k, v in m.info.items()
+                                if k in ("degree",)
+                            },
+                        }
+                    )
+
+    table = format_table(
+        ["Model", "Cluster", "GPUs", "Framework", "Iter (ms)", "Lancet speedup"],
+        [
+            [
+                r["model"],
+                r["cluster"],
+                r["gpus"],
+                r["framework"],
+                r["iteration_ms"],
+                r["speedup_vs_best_baseline"] or "",
+            ]
+            for r in rows
+        ],
+        title=f"Fig. {'11' if gate == 'switch' else '12'} - iteration time "
+        f"({gate} gate)",
+    )
+    notes = {
+        "max_speedup": max(speedups),
+        "avg_speedup": sum(speedups) / len(speedups),
+        "paper_switch": "A100: up to 1.21x (avg 1.17x); V100: up to 1.3x (avg 1.22x)",
+        "paper_bpr": "A100: up to 1.24x (avg 1.17x); V100: up to 1.24x (avg 1.21x)",
+    }
+    return FigureResult(
+        figure, f"iteration time, {gate} gate", rows, table, notes
+    )

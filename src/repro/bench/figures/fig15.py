@@ -1,0 +1,76 @@
+"""Figure 15: Lancet's optimization time.
+
+Paper: optimization wall time for both models on 16/32/64 GPUs of each
+cluster.  The partition pass dominates (the dW schedule pass is a fast
+greedy); time depends mostly on the number of layers, not the number of
+GPUs, because every device shares one computation graph.
+"""
+
+from __future__ import annotations
+
+from ..formatting import format_table
+from ..harness import Setting, run_setting
+from .common import FigureResult
+
+
+def run(
+    models=("GPT2-S-MoE", "GPT2-L-MoE"),
+    clusters=("v100", "a100"),
+    gpu_counts=(16, 32, 64),
+) -> FigureResult:
+    rows = []
+    for cluster in clusters:
+        for model in models:
+            for gpus in gpu_counts:
+                m = run_setting(
+                    Setting(
+                        model=model,
+                        cluster_kind=cluster,
+                        num_gpus=gpus,
+                        framework="lancet",
+                    )
+                )
+                passes = m.info.get("pass_seconds", {})
+                dw = passes.get("weight-grad-schedule", 0.0)
+                part = passes.get("operator-partition", 0.0)
+                rows.append(
+                    {
+                        "cluster": cluster,
+                        "model": model,
+                        "gpus": gpus,
+                        "dw_pass_s": dw,
+                        "partition_pass_s": part,
+                        "total_s": m.info.get("prepare_seconds", dw + part),
+                    }
+                )
+
+    table = format_table(
+        ["Cluster", "Model", "GPUs", "dW pass (s)", "Partition pass (s)", "Total (s)"],
+        [
+            [
+                r["cluster"],
+                r["model"],
+                r["gpus"],
+                r["dw_pass_s"],
+                r["partition_pass_s"],
+                r["total_s"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 15 - optimization time",
+    )
+    partition_dominates = all(
+        r["partition_pass_s"] >= r["dw_pass_s"] for r in rows
+    )
+    by_model = {}
+    for r in rows:
+        by_model.setdefault(r["model"], []).append(r["total_s"])
+    notes = {
+        "partition_pass_dominates": partition_dominates,
+        "paper": "dominated by the partition pass; below ~20 min; grows with layers",
+    }
+    if "GPT2-L-MoE" in by_model and "GPT2-S-MoE" in by_model:
+        notes["larger_model_slower"] = sum(by_model["GPT2-L-MoE"]) > sum(
+            by_model["GPT2-S-MoE"]
+        )
+    return FigureResult("fig15", "optimization time", rows, table, notes)

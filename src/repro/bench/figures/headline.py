@@ -1,0 +1,65 @@
+"""Headline claims (paper abstract / Sec. 1 and Sec. 7 summary).
+
+* Lancet reduces non-overlapping communication time by as much as 77%.
+* Lancet achieves up to 1.3x end-to-end speedup over state-of-the-art.
+"""
+
+from __future__ import annotations
+
+from ..formatting import format_table
+from ..harness import Setting, run_setting
+from .common import FigureResult
+
+
+def run(
+    models=("GPT2-S-MoE", "GPT2-L-MoE"),
+    clusters=("v100", "a100"),
+    gpu_counts=(16, 32),
+) -> FigureResult:
+    speedups = []
+    comm_reductions = []
+    rows = []
+    for model in models:
+        for cluster in clusters:
+            for gpus in gpu_counts:
+                ms = {}
+                for fw in ("raf", "tutel", "lancet"):
+                    ms[fw] = run_setting(
+                        Setting(
+                            model=model,
+                            cluster_kind=cluster,
+                            num_gpus=gpus,
+                            framework=fw,
+                        )
+                    )
+                best = min(ms["raf"].iteration_ms, ms["tutel"].iteration_ms)
+                speedup = best / ms["lancet"].iteration_ms
+                red = 1.0 - ms["lancet"].comm_only_ms / max(
+                    min(ms["raf"].comm_only_ms, ms["tutel"].comm_only_ms), 1e-9
+                )
+                speedups.append(speedup)
+                comm_reductions.append(red)
+                rows.append(
+                    {
+                        "model": model,
+                        "cluster": cluster,
+                        "gpus": gpus,
+                        "speedup": speedup,
+                        "comm_reduction_pct": 100 * red,
+                    }
+                )
+
+    table = format_table(
+        ["Model", "Cluster", "GPUs", "Speedup vs best baseline", "Non-ovl comm red. %"],
+        [
+            [r["model"], r["cluster"], r["gpus"], r["speedup"], r["comm_reduction_pct"]]
+            for r in rows
+        ],
+        title="Headline claims",
+    )
+    notes = {
+        "max_speedup": max(speedups),
+        "max_comm_reduction_pct": 100 * max(comm_reductions),
+        "paper": "up to 1.3x speedup; up to 77% non-overlapped comm reduction",
+    }
+    return FigureResult("headline", "headline claims", rows, table, notes)

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_series(
+    name: str, xs: list, ys: list, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as x/y rows."""
+    return format_table(
+        [x_label, y_label], [[x, y] for x, y in zip(xs, ys)], title=name
+    )

@@ -1,0 +1,167 @@
+"""Shared experiment harness for all paper figures.
+
+One entry point, :func:`run_setting`, prepares a framework's schedule for a
+(model, cluster, GPU count, gate) setting and simulates one training
+iteration, returning every quantity the paper's figures report.
+Measurements are memoized so figures sharing grid points (e.g. Fig. 11 and
+Fig. 14) don't recompute them.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+from ..baselines import make_framework
+from ..models import GPT2MoEConfig, build_training_graph
+from ..runtime import (
+    ClusterSpec,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    simulate_program,
+)
+
+#: per-GPU batch sizes used in the paper (Sec. 7): the largest that fits.
+PAPER_BATCH = {
+    ("a100", "GPT2-S-MoE"): 24,
+    ("a100", "GPT2-L-MoE"): 48,
+    ("v100", "GPT2-S-MoE"): 16,
+    ("v100", "GPT2-L-MoE"): 8,
+}
+
+PAPER_SEQ = 512
+
+#: GPU counts evaluated in the paper's scaling experiments
+PAPER_GPU_COUNTS = (16, 32, 64)
+
+EXPERT_OPS_FWD = frozenset({"expert_ffn"})
+EXPERT_OPS_ALL = frozenset({"expert_ffn", "expert_ffn_dx", "expert_ffn_dw"})
+
+
+def model_by_name(name: str, gate: str = "switch") -> GPT2MoEConfig:
+    """Paper model preset by name."""
+    if name in ("GPT2-S-MoE", "s", "S"):
+        return GPT2MoEConfig.gpt2_s_moe(gate=gate)
+    if name in ("GPT2-L-MoE", "l", "L"):
+        return GPT2MoEConfig.gpt2_l_moe(gate=gate)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def paper_batch(cluster_kind: str, model_name: str) -> int:
+    return PAPER_BATCH[(cluster_kind.lower(), model_name)]
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One grid point of the evaluation."""
+
+    model: str  # GPT2-S-MoE / GPT2-L-MoE
+    cluster_kind: str  # a100 / v100
+    num_gpus: int
+    framework: str  # deepspeed / raf / tutel / lancet
+    gate: str = "switch"
+    batch: int | None = None
+    seq: int = PAPER_SEQ
+
+    def resolved_batch(self) -> int:
+        return self.batch or paper_batch(self.cluster_kind, self.model)
+
+
+@dataclass
+class Measurement:
+    """Everything one simulated iteration yields."""
+
+    setting: Setting
+    iteration_ms: float
+    comm_only_ms: float
+    comp_only_ms: float
+    overlap_ms: float
+    exposed_a2a_ms: float
+    a2a_total_ms: float
+    expert_fwd_ms: float
+    expert_total_ms: float
+    allreduce_ms: float
+    memory_gb: float
+    info: dict = field(default_factory=dict)
+
+    @property
+    def others_ms(self) -> float:
+        """Everything that is neither all-to-all nor expert computation
+        (the paper Fig. 2 'Others' bucket)."""
+        return self.iteration_ms - self.exposed_a2a_ms - self.expert_total_ms
+
+
+def estimate_memory_gb(graph, framework: str) -> float:
+    """Rough per-GPU memory estimate: params + grads + fp32 momentum +
+    retained forward activations, with a small framework overhead factor.
+
+    Note: at the paper's batch sizes real frameworks run near the memory
+    limit (they chose the largest fitting batch); an analytic model
+    underestimates allocator overheads, so this is reported for relative
+    comparison (DeepSpeed > others), not absolute OOM prediction.
+    """
+    p = graph.program
+    param_bytes = sum(p.values[v].type.nbytes for v in p.params)
+    act_bytes = 0
+    for ins in p.instructions[: graph.forward_len]:
+        for o in ins.outputs:
+            act_bytes += p.values[o].type.nbytes
+    overhead = {"deepspeed": 1.30, "tutel": 1.12}.get(framework, 1.0)
+    total = (param_bytes * 2 + param_bytes * 2 + act_bytes) * overhead
+    return total / 2**30
+
+
+@functools.lru_cache(maxsize=None)
+def run_setting(setting: Setting, seed: int = 1) -> Measurement:
+    """Prepare the framework schedule and simulate one iteration."""
+    cfg = model_by_name(setting.model, setting.gate)
+    batch = setting.resolved_batch()
+    graph = build_training_graph(
+        cfg, batch=batch, seq=setting.seq, num_gpus=setting.num_gpus
+    )
+    cluster = ClusterSpec.for_gpus(setting.cluster_kind, setting.num_gpus)
+
+    t0 = time.perf_counter()
+    fw = make_framework(setting.framework)
+    result = fw.prepare(graph, cluster)
+    prepare_seconds = time.perf_counter() - t0
+
+    sim = SimulationConfig(
+        cluster=cluster,
+        framework=result.profile,
+        padded_a2a=result.padded_a2a,
+        routing=SyntheticRoutingModel(seed=seed),
+    )
+    tl = simulate_program(result.program, config=sim)
+    bd = tl.breakdown()
+    info = dict(result.info)
+    info["prepare_seconds"] = prepare_seconds
+    report = info.pop("report", None)
+    if report is not None:
+        info["pass_seconds"] = {
+            t.name: t.seconds for t in report.pass_timings
+        }
+        info["predicted_ms"] = report.predicted_iteration_ms
+        info["plans"] = [
+            (pl.start, pl.end, pl.parts) for pl in report.partition.plans
+        ]
+    return Measurement(
+        setting=setting,
+        iteration_ms=bd.makespan,
+        comm_only_ms=bd.comm_only,
+        comp_only_ms=bd.comp_only,
+        overlap_ms=bd.overlapped,
+        exposed_a2a_ms=tl.exposed_time_of({"all_to_all"}),
+        a2a_total_ms=tl.total_time_of({"all_to_all"}),
+        expert_fwd_ms=tl.total_time_of(EXPERT_OPS_FWD),
+        expert_total_ms=tl.total_time_of(EXPERT_OPS_ALL),
+        allreduce_ms=tl.total_time_of({"allreduce"}),
+        memory_gb=estimate_memory_gb(graph, setting.framework),
+        info=info,
+    )
+
+
+def clear_cache() -> None:
+    """Drop memoized measurements (for tests)."""
+    run_setting.cache_clear()

@@ -1,0 +1,78 @@
+"""Gradient-sync deferral: all-to-all-over-all-reduce priority.
+
+An extension beyond the paper implementing the scheduling idea of Lina
+(Li et al., ATC'23), which the paper's Sec. 8 cites as complementary:
+*prioritize all-to-all traffic over all-reduce traffic*.
+
+On a single in-order communication stream, an all-reduce issued right
+after its gradient is produced can land *in front of* the next backward
+all-to-all; the all-to-all then starts late, stalling the dependent
+activation-gradient chain.  This matters even more after the dW schedule
+pass, whose rescheduled dWs emit their all-reduces near all-to-alls (the
+interference quantified in EXPERIMENTS.md Fig. 16).
+
+Deferring gradient sync all the way to the optimizer would strand the
+all-reduces in the iteration's tail with no computation left to hide
+them; the right granularity is *yielding*: each all-reduce steps past the
+next all-to-all in issue order (so the all-to-all never queues behind
+it), but no further (so it still overlaps the remaining backward
+computation).  With one all-reduce instruction per parameter tensor this
+emulates Lina's micro-op prioritization at tensor granularity.
+"""
+
+from __future__ import annotations
+
+from ..ir import Instruction, Pass, Program
+
+
+class GradSyncDeferPass(Pass):
+    """Let each all-reduce yield to the next all-to-all in issue order."""
+
+    name = "grad-sync-defer"
+
+    def run(self, program: Program) -> Program:
+        instrs = program.instructions
+        n = len(instrs)
+        # position of the next all-to-all at or after each position
+        next_a2a = [None] * n
+        nxt = None
+        for pos in range(n - 1, -1, -1):
+            if instrs[pos].op == "all_to_all":
+                nxt = pos
+            next_a2a[pos] = nxt
+
+        # first consumer position per value (moving past it is illegal)
+        consumers_of: dict[int, int] = {}
+        for pos, ins in enumerate(instrs):
+            for v in ins.inputs:
+                consumers_of.setdefault(v, pos)
+
+        by_target: dict[int, list[Instruction]] = {}
+        moved: set[int] = set()
+        for pos, ins in enumerate(instrs):
+            if ins.op != "allreduce":
+                continue
+            a2a = next_a2a[pos]
+            if a2a is None:
+                continue  # no later all-to-all to yield to
+            target = a2a + 1  # re-issue right after that all-to-all
+            limit = consumers_of.get(ins.outputs[0], n)
+            if target >= limit or target <= pos:
+                continue
+            by_target.setdefault(target, []).append(ins)
+            moved.add(ins.uid)
+
+        if not moved:
+            return program
+
+        out: list[Instruction] = []
+        for pos, ins in enumerate(instrs):
+            if pos in by_target:
+                out.extend(by_target.pop(pos))
+            if ins.uid not in moved:
+                out.append(ins)
+        for leftovers in by_target.values():
+            out.extend(leftovers)
+
+        program.replace_order(out)
+        return program

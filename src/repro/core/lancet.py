@@ -1,0 +1,122 @@
+"""Top-level Lancet optimizer (paper Fig. 7).
+
+Wires the two optimization passes behind one entry point:
+
+1. Weight Gradient Computation Schedule Pass (backward overlap, Sec. 4)
+2. Operator Partition Pass (forward partition + pipeline, Sec. 5)
+
+supported by the caching op profiler and the communication cost model.
+Each pass can be disabled independently for the paper's ablation study
+(Fig. 16), and pass wall-times are recorded for the optimization-time
+measurement (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import PassManager, PassTiming, Program, validate
+from ..models.gpt2_moe import ModelGraph
+from ..runtime.cluster import ClusterSpec
+from ..runtime.device import COMPILED, FrameworkProfile
+from .cost_model import CommCostModel, CostEstimator
+from .dw_schedule import DWScheduleReport, WeightGradSchedulePass
+from .partition import (
+    DPResult,
+    LancetHyperParams,
+    OperatorPartitionPass,
+)
+from .profiler import CachingOpProfiler
+
+
+@dataclass
+class LancetReport:
+    """Everything the optimizer learned while optimizing one program."""
+
+    pass_timings: list[PassTiming] = field(default_factory=list)
+    dw_schedule: DWScheduleReport | None = None
+    partition: DPResult | None = None
+    predicted_iteration_ms: float = 0.0
+    profiled_ops: int = 0
+
+    @property
+    def optimization_seconds(self) -> float:
+        """Total optimization wall time (paper Fig. 15)."""
+        return sum(t.seconds for t in self.pass_timings)
+
+
+class LancetOptimizer:
+    """Automatic MoE-training optimizer over the IR.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster (drives the profiler and communication cost model).
+    framework:
+        Execution-stack profile used for compute-cost profiling.
+    hyper_params:
+        The rho / gamma / iota knobs of the partition pass (Sec. 6).
+    enable_dw_schedule / enable_partition:
+        Ablation switches (paper Fig. 16).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        framework: FrameworkProfile = COMPILED,
+        hyper_params: LancetHyperParams | None = None,
+        enable_dw_schedule: bool = True,
+        enable_partition: bool = True,
+        defer_allreduce: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.framework = framework
+        self.hyper_params = hyper_params or LancetHyperParams()
+        self.enable_dw_schedule = enable_dw_schedule
+        self.enable_partition = enable_partition
+        #: extension beyond the paper: prioritize all-to-all over
+        #: all-reduce by deferring gradient sync (see core/comm_priority.py)
+        self.defer_allreduce = defer_allreduce
+        self.profiler = CachingOpProfiler(gpu=cluster.gpu, framework=framework)
+        self.costs = CostEstimator(self.profiler, CommCostModel(cluster))
+
+    def optimize(
+        self, graph_or_program: ModelGraph | Program, check: bool = True
+    ) -> tuple[Program, LancetReport]:
+        """Optimize a training program; returns (new program, report).
+
+        The input program is not modified.
+        """
+        program = (
+            graph_or_program.program
+            if isinstance(graph_or_program, ModelGraph)
+            else graph_or_program
+        )
+        work = program.clone()
+
+        pm = PassManager(validate_each=check)
+        dw_pass = part_pass = None
+        if self.enable_dw_schedule:
+            dw_pass = WeightGradSchedulePass(self.costs)
+            pm.add(dw_pass)
+        if self.enable_partition:
+            part_pass = OperatorPartitionPass(self.costs, self.hyper_params)
+            pm.add(part_pass)
+        if self.defer_allreduce:
+            from .comm_priority import GradSyncDeferPass
+
+            pm.add(GradSyncDeferPass())
+        work = pm.run(work)
+
+        report = LancetReport(
+            pass_timings=list(pm.timings),
+            dw_schedule=dw_pass.report if dw_pass else None,
+            partition=part_pass.result if part_pass else None,
+            predicted_iteration_ms=self.costs.predict_iteration_ms(work),
+            profiled_ops=self.profiler.profile_count,
+        )
+        return work, report
+
+    def predict_iteration_ms(self, program: Program) -> float:
+        """Cost-model prediction of a program's iteration time (Fig. 14)."""
+        return self.costs.predict_iteration_ms(program)

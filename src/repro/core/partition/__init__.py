@@ -1,0 +1,56 @@
+"""Operator partition pass: axis inference, pipeline scheduling, DP."""
+
+from .axis_inference import (
+    InferenceResult,
+    MOE_ONLY_OPS,
+    infer_axes,
+    range_is_moe_only,
+)
+from .dp import (
+    DPResult,
+    Group,
+    LancetHyperParams,
+    RangePlan,
+    build_groups,
+    forward_length,
+    plan_partitions,
+)
+from .pass_ import OperatorPartitionPass
+from .pipeline import (
+    PipelineCost,
+    Stage,
+    build_stages,
+    chunk_duration_ms,
+    chunk_type,
+    pipeline_cost_ms,
+    sequential_cost_ms,
+)
+from .rewriter import apply_plan, apply_plans
+from .rules import RuleContext, entry_domain, rules_for
+
+__all__ = [
+    "DPResult",
+    "Group",
+    "InferenceResult",
+    "LancetHyperParams",
+    "MOE_ONLY_OPS",
+    "OperatorPartitionPass",
+    "PipelineCost",
+    "RangePlan",
+    "RuleContext",
+    "Stage",
+    "apply_plan",
+    "apply_plans",
+    "build_groups",
+    "build_stages",
+    "chunk_duration_ms",
+    "chunk_type",
+    "entry_domain",
+    "forward_length",
+    "infer_axes",
+    "pipeline_cost_ms",
+    "plan_partitions",
+    "range_is_moe_only",
+    "rules_for",
+    "sequential_cost_ms",
+]

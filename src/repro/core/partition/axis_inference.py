@@ -1,0 +1,163 @@
+"""Partition-axis inference: the constraint-satisfaction solver of
+paper Sec. 5.2.
+
+Given a candidate range of instructions, find one partition axis per SSA
+value such that every instruction's (input axes, output axes) combination
+is permitted by its rule set ``F_Z`` (:mod:`.rules`), values entering the
+range are splittable from outside, and -- per the paper -- the same
+tensor keeps the same axis everywhere (automatic here: one variable per
+value).
+
+The paper uses OR-Tools; the structure of these problems (a near-chain of
+small-domain variables) makes a domain-propagation + backtracking solver
+entirely sufficient, and keeps the reproduction dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ir import AXIS_IRREGULAR as IRR
+from ...ir import NOT_PARTITIONED as NP
+from ...ir import Instruction, Program
+from ...ir.tensor import is_route_type
+from .rules import RuleContext, entry_domain, rules_for
+
+#: preference order when branching: batch first, then irregular, then
+#: other real axes; replication last (only boundary values may take NP).
+_PREFERENCE = {0: 0, IRR: 1}
+
+
+def _pref(axis: int) -> tuple[int, int]:
+    return (_PREFERENCE.get(axis, 2), axis if axis >= 0 else 99)
+
+
+@dataclass
+class InferenceResult:
+    """Solved axis assignment for one candidate range."""
+
+    axes: dict[int, int]  # value id -> partition axis
+    moe_only: bool  # context the solution was derived under
+
+    def axis_of(self, vid: int) -> int:
+        return self.axes.get(vid, NP)
+
+
+#: ops that constitute the bare communication/expert pipeline; a range
+#: containing only these may use capacity-axis partitioning (Tutel-style)
+MOE_ONLY_OPS = frozenset({"all_to_all", "expert_ffn"})
+
+
+def range_is_moe_only(instrs: list[Instruction]) -> bool:
+    """Paper Sec. 5.2: capacity-axis rules apply iff the range covers only
+    the all-to-all and expert computation."""
+    return bool(instrs) and all(i.op in MOE_ONLY_OPS for i in instrs)
+
+
+def infer_axes(
+    instrs: list[Instruction],
+    program: Program,
+    ctx: RuleContext | None = None,
+) -> InferenceResult | None:
+    """Solve for partition axes over a candidate range.
+
+    Returns None when no valid partitioning exists (e.g. the range
+    contains a batch-dependent gate, or would need to split an MoE
+    buffer irregularly from outside).
+    """
+    if not instrs:
+        return None
+    if ctx is None:
+        ctx = RuleContext(moe_only=range_is_moe_only(instrs))
+
+    produced: set[int] = set()
+    for ins in instrs:
+        produced.update(ins.outputs)
+
+    # candidate rule tuples per instruction
+    inst_rules: list[list[tuple[tuple[int, ...], tuple[int, ...]]]] = []
+    for ins in instrs:
+        in_types = [program.type_of(v) for v in ins.inputs]
+        out_types = [program.type_of(v) for v in ins.outputs]
+        cands = rules_for(ins, in_types, out_types, ctx)
+        if not cands:
+            return None
+        inst_rules.append(cands)
+
+    # variable domains: every value gets the full axis set, restricted by
+    # the entry rules when it is produced outside the range
+    domains: dict[int, set[int]] = {}
+    for ins in instrs:
+        for vid in list(ins.inputs) + list(ins.outputs):
+            if vid not in domains:
+                t = program.type_of(vid)
+                full = set(range(t.rank)) | {NP, IRR}
+                if vid not in produced:
+                    full &= entry_domain(t, is_route_type(t))
+                domains[vid] = full
+
+    # arc-consistency propagation to fixpoint
+    def propagate() -> bool:
+        changed = True
+        while changed:
+            changed = False
+            for ins, cands in zip(instrs, inst_rules):
+                vids = list(ins.inputs) + list(ins.outputs)
+                live = [
+                    (ia, oa)
+                    for ia, oa in cands
+                    if all(
+                        a in domains[vid]
+                        for vid, a in zip(vids, list(ia) + list(oa))
+                    )
+                ]
+                if not live:
+                    return False
+                if len(live) != len(cands):
+                    cands[:] = live
+                    changed = True
+                # narrow each operand's domain to the union over live tuples
+                for pos, vid in enumerate(vids):
+                    allowed = {(list(ia) + list(oa))[pos] for ia, oa in live}
+                    narrowed = domains[vid] & allowed
+                    if not narrowed:
+                        return False
+                    if narrowed != domains[vid]:
+                        domains[vid] = narrowed
+                        changed = True
+        return True
+
+    if not propagate():
+        return None
+
+    # backtracking over any still-ambiguous values
+    order = [v for v in domains if len(domains[v]) > 1]
+
+    def solve(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        vid = order[idx]
+        if len(domains[vid]) == 1:
+            return solve(idx + 1)
+        snapshot_domains = {v: set(d) for v, d in domains.items()}
+        snapshot_rules = [list(c) for c in inst_rules]
+        for axis in sorted(domains[vid], key=_pref):
+            domains[vid] = {axis}
+            if propagate() and solve(idx + 1):
+                return True
+            for v in domains:
+                domains[v] = set(snapshot_domains[v])
+            for c, snap in zip(inst_rules, snapshot_rules):
+                c[:] = snap
+        return False
+
+    if not solve(0):
+        return None
+
+    axes = {v: next(iter(d)) for v, d in domains.items()}
+
+    # sanity: every instruction must actually be partitioned
+    for ins in instrs:
+        if all(axes.get(o, NP) == NP for o in ins.outputs):
+            return None
+    return InferenceResult(axes=axes, moe_only=ctx.moe_only)

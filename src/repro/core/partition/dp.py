@@ -1,0 +1,281 @@
+"""Dynamic-programming partition-range selection (paper Sec. 5.1).
+
+``T(n) = min_{i<n} ( T(i) + min_k P(i, n, k) )`` over the forward
+instruction sequence, where ``P(i, n, k)`` is the pipelined cost of
+instructions i..n split into k parts (from the pipeline scheduler) and
+``T`` accumulates the optimal prefix time.
+
+Exactly as the paper prescribes for tractability:
+
+* consecutive instructions are grouped by execution time (group size
+  gamma) and the DP runs over groups;
+* the candidate range length is capped (iota);
+* the number of partitions k is capped (rho) -- and only ranges that
+  contain an all-to-all are worth pipelining, so everything else falls
+  back to the k=1 sequential cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...ir import Instruction, InstrKind, Program
+from ..cost_model import CostEstimator
+from .axis_inference import InferenceResult, infer_axes
+from .pipeline import max_feasible_parts, pipeline_cost_ms, sequential_cost_ms
+
+
+@dataclass(frozen=True)
+class LancetHyperParams:
+    """The three optimization-speed knobs of paper Sec. 6.
+
+    Attributes
+    ----------
+    max_partitions:
+        rho -- the largest number of partitions k considered.
+    group_ms:
+        gamma -- target execution time per instruction group.  None picks
+        it so that ~5 groups separate consecutive MoE layers (the paper's
+        experimental setting).
+    max_range_groups:
+        iota -- the longest candidate range, in groups.  None derives it
+        from the spacing between MoE layers (one pipeline per MoE layer).
+    """
+
+    max_partitions: int = 8
+    group_ms: float | None = None
+    max_range_groups: int | None = None
+
+    @property
+    def k_candidates(self) -> list[int]:
+        """Partition counts to evaluate (powers of two up to rho)."""
+        ks = []
+        k = 2
+        while k <= self.max_partitions:
+            ks.append(k)
+            k *= 2
+        return ks
+
+
+#: ops that anchor the MoE pipeline structure; each gets its own group so
+#: candidate ranges can start/stop exactly at these boundaries
+STRUCTURAL_OPS = frozenset(
+    {"routing", "moe_dispatch", "all_to_all", "expert_ffn", "moe_combine"}
+)
+
+
+@dataclass
+class Group:
+    """A run of consecutive forward instructions treated atomically."""
+
+    start: int  # instruction position (inclusive)
+    end: int  # instruction position (exclusive)
+    time_ms: float
+    has_a2a: bool
+
+
+@dataclass
+class RangePlan:
+    """One chosen partition range."""
+
+    start: int  # instruction position (inclusive)
+    end: int  # instruction position (exclusive)
+    parts: int
+    axes: InferenceResult
+    predicted_ms: float
+    sequential_ms: float
+
+
+@dataclass
+class DPResult:
+    """Outcome of partition planning."""
+
+    plans: list[RangePlan] = field(default_factory=list)
+    baseline_fwd_ms: float = 0.0
+    optimized_fwd_ms: float = 0.0
+    num_groups: int = 0
+    num_cost_evals: int = 0
+
+
+def forward_length(program: Program) -> int:
+    """Length of the forward-pass prefix of the program."""
+    for pos, ins in enumerate(program.instructions):
+        if ins.kind in (InstrKind.DX, InstrKind.DW, InstrKind.OPTIMIZER):
+            return pos
+    return len(program.instructions)
+
+
+def build_groups(
+    program: Program,
+    fwd_end: int,
+    costs: CostEstimator,
+    group_ms: float,
+) -> list[Group]:
+    """Group consecutive forward instructions by execution time.
+
+    MoE-structural ops are isolated in their own groups so that ranges
+    can align with the dispatch/all-to-all/expert/combine boundaries.
+    """
+    groups: list[Group] = []
+    cur_start = None
+    cur_time = 0.0
+
+    def close(endpos: int) -> None:
+        nonlocal cur_start, cur_time
+        if cur_start is not None:
+            groups.append(Group(cur_start, endpos, cur_time, False))
+            cur_start = None
+            cur_time = 0.0
+
+    for pos in range(fwd_end):
+        ins = program.instructions[pos]
+        t = costs.duration_ms(ins, program)
+        if ins.op in STRUCTURAL_OPS:
+            close(pos)
+            groups.append(
+                Group(pos, pos + 1, t, has_a2a=(ins.op == "all_to_all"))
+            )
+            continue
+        if cur_start is None:
+            cur_start = pos
+        cur_time += t
+        if cur_time >= group_ms:
+            close(pos + 1)
+    close(fwd_end)
+    return groups
+
+
+def _auto_group_ms(
+    program: Program, fwd_end: int, costs: CostEstimator
+) -> float:
+    """Pick gamma so ~5 groups separate consecutive MoE layers (Sec. 7)."""
+    a2a_pos = [
+        p
+        for p in range(fwd_end)
+        if program.instructions[p].op == "all_to_all"
+    ]
+    if not a2a_pos:
+        total = sum(
+            costs.duration_ms(program.instructions[p], program)
+            for p in range(fwd_end)
+        )
+        return max(total / 10.0, 0.05)
+    # time of non-MoE instructions between consecutive MoE layers
+    first = a2a_pos[0]
+    span = sum(
+        costs.duration_ms(program.instructions[p], program)
+        for p in range(first)
+        if program.instructions[p].op not in STRUCTURAL_OPS
+    )
+    return max(span / 5.0, 0.02)
+
+
+def plan_partitions(
+    program: Program,
+    costs: CostEstimator,
+    params: LancetHyperParams = LancetHyperParams(),
+) -> DPResult:
+    """Run the DP over the forward pass and return the chosen ranges."""
+    fwd_end = forward_length(program)
+    group_ms = params.group_ms or _auto_group_ms(program, fwd_end, costs)
+    groups = build_groups(program, fwd_end, costs, group_ms)
+    ng = len(groups)
+    result = DPResult(num_groups=ng)
+    if ng == 0:
+        return result
+
+    if params.max_range_groups is not None:
+        max_range = params.max_range_groups
+    else:
+        # one pipeline per MoE layer: cap ranges at the group distance
+        # between consecutive forward all-to-alls
+        a2a_groups = [gi for gi, g in enumerate(groups) if g.has_a2a]
+        if len(a2a_groups) >= 3:
+            max_range = a2a_groups[2] - a2a_groups[0] + 2
+        else:
+            max_range = ng
+    max_range = max(3, min(max_range, ng))
+
+    seq_prefix = np.concatenate([[0.0], np.cumsum([g.time_ms for g in groups])])
+    has_a2a_prefix = np.concatenate(
+        [[0], np.cumsum([1 if g.has_a2a else 0 for g in groups])]
+    )
+
+    consumers_after_cache: dict[tuple[int, int], set[int]] = {}
+
+    def consumers_after(i_pos: int, n_pos: int) -> set[int]:
+        key = (i_pos, n_pos)
+        hit = consumers_after_cache.get(key)
+        if hit is not None:
+            return hit
+        outside: set[int] = set(program.outputs) | set(program.grads.values())
+        for pos, ins in enumerate(program.instructions):
+            if pos < i_pos or pos >= n_pos:
+                outside.update(ins.inputs)
+        consumers_after_cache[key] = outside
+        return outside
+
+    # DP tables
+    T = np.full(ng + 1, np.inf)
+    T[0] = 0.0
+    parent: list[tuple[int, int, RangePlan | None]] = [(0, 0, None)] * (ng + 1)
+    axes_cache: dict[tuple[int, int], InferenceResult | None] = {}
+
+    for n in range(1, ng + 1):
+        lo = max(0, n - max_range)
+        for i in range(lo, n):
+            seq = float(seq_prefix[n] - seq_prefix[i])
+            # k = 1: no partitioning
+            if T[i] + seq < T[n]:
+                T[n] = T[i] + seq
+                parent[n] = (i, 1, None)
+            if has_a2a_prefix[n] - has_a2a_prefix[i] == 0:
+                continue  # nothing to overlap: pipelining is pointless
+            i_pos, n_pos = groups[i].start, groups[n - 1].end
+            key = (i_pos, n_pos)
+            axes = axes_cache.get(key, "miss")
+            if axes == "miss":
+                instrs = program.instructions[i_pos:n_pos]
+                axes = infer_axes(instrs, program)
+                axes_cache[key] = axes
+            if axes is None:
+                continue
+            instrs = program.instructions[i_pos:n_pos]
+            outside = consumers_after(i_pos, n_pos)
+            k_limit = max_feasible_parts(instrs, program, axes)
+            for k in params.k_candidates:
+                if k > k_limit:
+                    continue
+                result.num_cost_evals += 1
+                cost = pipeline_cost_ms(
+                    program, instrs, axes, k, costs, outside
+                )
+                if T[i] + cost.total_ms < T[n]:
+                    plan = RangePlan(
+                        start=i_pos,
+                        end=n_pos,
+                        parts=k,
+                        axes=axes,
+                        predicted_ms=cost.total_ms,
+                        sequential_ms=seq,
+                    )
+                    T[n] = T[i] + cost.total_ms
+                    parent[n] = (i, k, plan)
+
+    # reconstruct the chosen ranges
+    plans: list[RangePlan] = []
+    n = ng
+    while n > 0:
+        i, _k, plan = parent[n]
+        if plan is not None:
+            plans.append(plan)
+        n = i
+    plans.reverse()
+
+    result.plans = plans
+    result.baseline_fwd_ms = float(seq_prefix[ng])
+    result.optimized_fwd_ms = float(T[ng])
+    return result

@@ -1,0 +1,33 @@
+"""The Operator Partition Pass (paper Sec. 5, Fig. 7).
+
+Chains the pieces: DP range selection (:mod:`.dp`) -> axis inference
+(:mod:`.axis_inference`) -> pipeline cost (:mod:`.pipeline`) -> IR
+rewrite (:mod:`.rewriter`).
+"""
+
+from __future__ import annotations
+
+from ...ir import Pass, Program
+from ..cost_model import CostEstimator
+from .dp import DPResult, LancetHyperParams, plan_partitions
+from .rewriter import apply_plans
+
+
+class OperatorPartitionPass(Pass):
+    """Partition + pipeline the forward pass around each all-to-all."""
+
+    name = "operator-partition"
+
+    def __init__(
+        self,
+        costs: CostEstimator,
+        params: LancetHyperParams | None = None,
+    ) -> None:
+        self.costs = costs
+        self.params = params or LancetHyperParams()
+        self.result: DPResult = DPResult()
+
+    def run(self, program: Program) -> Program:
+        self.result = plan_partitions(program, self.costs, self.params)
+        apply_plans(program, self.result.plans)
+        return program

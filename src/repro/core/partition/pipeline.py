@@ -1,0 +1,237 @@
+"""Pipeline scheduling and cost estimation (paper Sec. 5.3, Fig. 9).
+
+Given a partitioned range, instructions are divided into *stages*
+(maximal runs of consecutive computation or communication); within each
+stage the chunks execute in partition order (chunk 1 of the stage first,
+then chunk 2, ...).  The resulting interleaved order is simulated on the
+two-stream model to obtain ``P(i, n, k)`` -- each pseudo-instruction
+starts at the later of (i) the end of its dependencies and (ii) the end
+of the previous instruction on its stream, exactly the paper's rule.
+
+Chunk costs come from the caching profiler queried at *chunked shapes*;
+irregular (A_irr) operands use the static-shape approximation: the
+uniform shape at capacity ``C / k`` (paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ...ir import AXIS_IRREGULAR as IRR
+from ...ir import NOT_PARTITIONED as NP
+from ...ir import Dim, Instruction, Program, TensorType, get_op
+from ...ir.tensor import is_route_type
+from ..cost_model import CostEstimator
+from .axis_inference import InferenceResult
+
+
+def chunk_type(t: TensorType, axis: int, parts: int, index: int = 0) -> TensorType:
+    """Static type of one chunk of a value partitioned at ``axis``.
+
+    Real axes shrink the dimension (array_split convention); the
+    irregular axis keeps the buffer shape but, for *cost* purposes, scales
+    the capacity (or token) dimension -- the static-shape approximation.
+    """
+    if axis == NP:
+        return t
+    if axis == IRR:
+        if t.has_dim(Dim.CAPACITY):
+            i = t.dim_index(Dim.CAPACITY)
+        elif t.has_dim(Dim.TOKENS):
+            i = t.dim_index(Dim.TOKENS)
+        else:
+            return t
+        new_shape = list(t.shape)
+        new_shape[i] = max(1, math.ceil(t.shape[i] / parts))
+        return t.with_shape(tuple(new_shape))
+    return t.split(axis, parts, index)
+
+
+def chunk_duration_ms(
+    instr: Instruction,
+    program: Program,
+    axes: InferenceResult,
+    parts: int,
+    costs: CostEstimator,
+) -> float:
+    """Predicted duration of one chunk of ``instr`` when split ``parts`` ways."""
+    if instr.op == "all_to_all":
+        nbytes = float(program.type_of(instr.inputs[0]).nbytes)
+        out_axis = axes.axis_of(instr.outputs[0])
+        if out_axis == IRR:
+            return costs.comm.a2a_partitioned_ms(nbytes, parts)
+        return costs.comm.a2a_ms(nbytes / parts)
+
+    in_types = [
+        chunk_type(program.type_of(v), axes.axis_of(v), parts)
+        for v in instr.inputs
+    ]
+    attrs = instr.attrs
+    if "capacity" in attrs and any(
+        axes.axis_of(v) == IRR for v in list(instr.inputs) + list(instr.outputs)
+    ):
+        attrs = {
+            **attrs,
+            "capacity": max(1, math.ceil(attrs["capacity"] / parts)),
+        }
+    return costs.profiler.op_time_ms(instr.op, in_types, attrs)
+
+
+def max_feasible_parts(
+    instrs: list[Instruction],
+    program: Program,
+    axes: InferenceResult,
+) -> int:
+    """Largest k the partitioned dimensions allow (paper Sec. 5.1: "the
+    number of partitions k is limited by the size of the partitioned
+    dimension")."""
+    limit = 1 << 30
+    seen: set[int] = set()
+    for ins in instrs:
+        for v in list(ins.inputs) + list(ins.outputs):
+            if v in seen:
+                continue
+            seen.add(v)
+            axis = axes.axis_of(v)
+            if axis >= 0:
+                limit = min(limit, program.type_of(v).shape[axis])
+    return max(limit, 1)
+
+
+@dataclass
+class Stage:
+    """A maximal run of same-stream instructions within the range."""
+
+    is_comm: bool
+    indices: list[int] = field(default_factory=list)
+
+
+def build_stages(instrs: list[Instruction]) -> list[Stage]:
+    """Split the range into alternating computation/communication stages."""
+    stages: list[Stage] = []
+    for i, ins in enumerate(instrs):
+        if not stages or stages[-1].is_comm != ins.is_comm:
+            stages.append(Stage(is_comm=ins.is_comm))
+        stages[-1].indices.append(i)
+    return stages
+
+
+@dataclass
+class PipelineCost:
+    """Cost estimate of one pipelined range."""
+
+    total_ms: float
+    pipeline_ms: float
+    overhead_ms: float
+    num_stages: int
+
+
+def _boundary_overhead_ms(
+    program: Program,
+    instrs: list[Instruction],
+    axes: InferenceResult,
+    parts: int,
+    costs: CostEstimator,
+    consumers_after: set[int],
+) -> float:
+    """Cost of the split / reconstruct instructions at the range borders.
+
+    Splitting along a leading axis is a strided copy of the chunk;
+    reconstruction (concat or irregular accumulate) copies the full
+    tensor.  This is the partition overhead that makes over-partitioning
+    unprofitable (paper Challenge 2 / Fig. 13).
+    """
+    produced: set[int] = set()
+    for ins in instrs:
+        produced.update(ins.outputs)
+    consumed: set[int] = set()
+    for ins in instrs:
+        consumed.update(ins.inputs)
+
+    gpu = costs.profiler.gpu
+    fw = costs.profiler.framework
+    overhead = 0.0
+    # entry splits: one split_chunk (or route_slice) per chunk per value
+    for vid in consumed - produced:
+        axis = axes.axis_of(vid)
+        if axis == NP:
+            continue
+        nbytes = program.type_of(vid).nbytes
+        overhead += parts * fw.launch_ms(1) + gpu.mem_time_ms(2.0 * nbytes / parts) * parts
+    # exit reconstruction: one concat/accumulate per exported value
+    for vid in produced & consumers_after:
+        axis = axes.axis_of(vid)
+        if axis == NP:
+            continue
+        nbytes = program.type_of(vid).nbytes
+        overhead += fw.launch_ms(1) + gpu.mem_time_ms(2.0 * nbytes)
+    return overhead
+
+
+def pipeline_cost_ms(
+    program: Program,
+    instrs: list[Instruction],
+    axes: InferenceResult,
+    parts: int,
+    costs: CostEstimator,
+    consumers_after: set[int] | None = None,
+) -> PipelineCost:
+    """The paper's ``P(i, n, k)``: end-to-end time of the pipelined range."""
+    n = len(instrs)
+    durs = [
+        [chunk_duration_ms(ins, program, axes, parts, costs) for ins in instrs]
+        for _p in range(1)
+    ][0]
+
+    # producer index within the range, per value id
+    producer: dict[int, int] = {}
+    for i, ins in enumerate(instrs):
+        for o in ins.outputs:
+            producer[o] = i
+
+    stages = build_stages(instrs)
+
+    comp_free = 0.0
+    comm_free = 0.0
+    end: dict[tuple[int, int], float] = {}
+    for stage in stages:
+        for p in range(parts):
+            for i in stage.indices:
+                ins = instrs[i]
+                dep = 0.0
+                for v in ins.inputs:
+                    j = producer.get(v)
+                    if j is not None:
+                        dep = max(dep, end.get((j, p), 0.0))
+                if ins.op == "routing" and p > 0:
+                    # capacity-passing gate: chunk p waits for chunk p-1
+                    dep = max(dep, end.get((i, p - 1), 0.0))
+                if stage.is_comm:
+                    start = max(comm_free, dep)
+                    comm_free = start + durs[i]
+                    end[(i, p)] = comm_free
+                else:
+                    start = max(comp_free, dep)
+                    comp_free = start + durs[i]
+                    end[(i, p)] = comp_free
+
+    pipeline_ms = max(end.values(), default=0.0)
+    overhead = 0.0
+    if consumers_after is not None:
+        overhead = _boundary_overhead_ms(
+            program, instrs, axes, parts, costs, consumers_after
+        )
+    return PipelineCost(
+        total_ms=pipeline_ms + overhead,
+        pipeline_ms=pipeline_ms,
+        overhead_ms=overhead,
+        num_stages=len(stages),
+    )
+
+
+def sequential_cost_ms(
+    program: Program, instrs: list[Instruction], costs: CostEstimator
+) -> float:
+    """Unpartitioned execution time of a range (the k=1 / no-pipeline case)."""
+    return sum(costs.duration_ms(ins, program) for ins in instrs)

@@ -1,0 +1,203 @@
+"""Partition rules: the constraint functions ``F_Z`` of paper Sec. 5.2.
+
+For every operator we enumerate the valid combinations of input/output
+partition axes -- the boolean constraint the paper's axis inferencer
+feeds to a constraint solver.  Conventions:
+
+* ``NOT_PARTITIONED`` (-1): the operand is replicated to every chunk
+  (weights, biases).
+* an integer axis: the operand is split along that dimension.
+* ``AXIS_IRREGULAR`` (A_irr): the irregular partition of MoE dispatch
+  buffers and routing metadata (paper Fig. 5c) -- chunks keep the full
+  [E, C, H] shape but occupy disjoint, variable-sized capacity slots.
+
+Rules only list *partitioned* execution: an instruction whose outputs
+would all stay unpartitioned has no business inside a pipeline range, so
+the all-NP combination is deliberately absent.  Infeasibility (an empty
+rule list, e.g. Batch Prioritized Routing's gate) is how gating methods
+restrict the partition range (paper Sec. 2.3): the DP simply cannot
+choose a range containing such an op.
+
+MoE buffer ops accept the *capacity* axis only when the range covers
+nothing but the all-to-all / expert pipeline (``ctx.moe_only``,
+Tutel-style partitioning); otherwise they require ``A_irr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ir import AXIS_IRREGULAR as IRR
+from ...ir import NOT_PARTITIONED as NP
+from ...ir import Instruction, TensorType
+from ...models.config import BATCH_PREFIX_STABLE_GATES
+
+#: one rule: (axes of inputs, axes of outputs)
+AxisRule = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Context that changes which rules apply for a candidate range."""
+
+    #: True when the range covers only all-to-all and expert computation
+    #: (then capacity-axis partitioning, as in Tutel, is allowed).
+    moe_only: bool = False
+
+
+def _batch_like_axes(t: TensorType) -> list[int]:
+    """Axes a plain activation may be split along: any leading dim
+    (everything except the trailing feature dim)."""
+    return list(range(max(t.rank - 1, 0)))
+
+
+def rules_for(
+    instr: Instruction,
+    in_types: list[TensorType],
+    out_types: list[TensorType],
+    ctx: RuleContext,
+) -> list[AxisRule]:
+    """Enumerate valid (input axes, output axes) combinations for ``instr``."""
+    op = instr.op
+    fn = _RULES.get(op)
+    if fn is None:
+        return []  # unknown / unpartitionable op: infeasible inside a range
+    return fn(instr, in_types, out_types, ctx)
+
+
+_RULES: dict = {}
+
+
+def _rule(op: str):
+    def deco(fn):
+        _RULES[op] = fn
+        return fn
+
+    return deco
+
+
+@_rule("matmul")
+def _r_matmul(instr, ins, outs, ctx):
+    x, _w = ins
+    # row-split of the activation along any leading dim (weight replicated)
+    rules: list[AxisRule] = [((a, NP), (a,)) for a in range(x.rank - 1)]
+    # column-split of the weight partitions the output feature dim
+    rules.append(((NP, 1), (outs[0].rank - 1,)))
+    return rules
+
+
+@_rule("matmul_dx")
+def _r_matmul_dx(instr, ins, outs, ctx):
+    dy, _w = ins
+    return [((a, NP), (a,)) for a in range(dy.rank - 1)]
+
+
+@_rule("bias_add")
+def _r_bias_add(instr, ins, outs, ctx):
+    x, _b = ins
+    rules = [((a, NP), (a,)) for a in range(x.rank - 1)]
+    rules.append(((x.rank - 1, 0), (x.rank - 1,)))
+    return rules
+
+
+def _r_elementwise(instr, ins, outs, ctx):
+    x = ins[0]
+    return [((a,) * len(ins), (a,) * len(outs)) for a in range(x.rank)]
+
+
+def _r_rowwise(instr, ins, outs, ctx):
+    """Ops that reduce over the trailing dim: split leading dims only."""
+    x = ins[0]
+    return [((a,) * len(ins), (a,) * len(outs)) for a in range(x.rank - 1)]
+
+
+_RULES["add"] = _r_elementwise
+_RULES["scale"] = _r_elementwise
+_RULES["gelu"] = _r_elementwise
+_RULES["relu"] = _r_elementwise
+_RULES["softmax"] = _r_rowwise
+
+
+@_rule("layernorm")
+def _r_layernorm(instr, ins, outs, ctx):
+    x = ins[0]
+    return [((a, NP, NP), (a,)) for a in range(x.rank - 1)]
+
+
+@_rule("split3")
+def _r_split3(instr, ins, outs, ctx):
+    x = ins[0]
+    return [((a,), (a, a, a)) for a in range(x.rank - 1)]
+
+
+@_rule("attention")
+def _r_attention(instr, ins, outs, ctx):
+    # causal attention mixes tokens within a sequence: batch split only
+    return [((0, 0, 0), (0,))]
+
+
+@_rule("embedding")
+def _r_embedding(instr, ins, outs, ctx):
+    ids = ins[1]
+    return [((NP, a), (a,)) for a in range(ids.rank)]
+
+
+@_rule("pos_embedding")
+def _r_pos_embedding(instr, ins, outs, ctx):
+    return [((0, NP), (0,)), ((1, 0), (1,))]
+
+
+@_rule("routing")
+def _r_routing(instr, ins, outs, ctx):
+    gate = instr.attrs.get("gate_type", "switch")
+    if gate not in BATCH_PREFIX_STABLE_GATES:
+        # batch-dependent gating (BPR, expert-choice): the gate itself can
+        # never be partitioned (paper Sec. 2.3 / Fig. 4c)
+        return []
+    # batch-partitioned probabilities -> irregularly partitioned route,
+    # realized by the capacity-passing routing_partial operator
+    return [((0,), (IRR,))]
+
+
+@_rule("moe_dispatch")
+def _r_moe_dispatch(instr, ins, outs, ctx):
+    return [((0, IRR), (IRR,))]
+
+
+@_rule("all_to_all")
+def _r_all_to_all(instr, ins, outs, ctx):
+    rules: list[AxisRule] = [((IRR,), (IRR,))]
+    if ctx.moe_only:
+        rules.append(((1,), (1,)))  # capacity axis (Tutel-style)
+    return rules
+
+
+@_rule("expert_ffn")
+def _r_expert_ffn(instr, ins, outs, ctx):
+    rules: list[AxisRule] = [((IRR, NP, NP, NP, NP), (IRR,))]
+    if ctx.moe_only:
+        rules.append(((1, NP, NP, NP, NP), (1,)))
+    return rules
+
+
+@_rule("moe_combine")
+def _r_moe_combine(instr, ins, outs, ctx):
+    # gather restores token order: accepts only irregular buffers and
+    # produces batch-partitioned output (paper Fig. 8a)
+    return [((IRR, IRR, 0), (0,))]
+
+
+def entry_domain(t: TensorType, is_route: bool) -> set[int]:
+    """Axes at which a value *entering* a range can be split.
+
+    Plain tensors can be sliced along any real axis (split_chunk) or
+    passed whole (NP).  Routing metadata can additionally be sliced into
+    irregular chunks by token range (route_slice).  Raw buffers cannot be
+    split irregularly from outside -- A_irr can only be *produced* by the
+    gate/dispatch chain.
+    """
+    dom = {NP}
+    dom.update(range(t.rank))
+    if is_route:
+        dom.add(IRR)
+    return dom

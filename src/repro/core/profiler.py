@@ -1,0 +1,86 @@
+"""Caching op profiler (paper Sec. 3, Fig. 7).
+
+Lancet profiles every (partitioned) operator once per shape and caches
+the result; the cached time is reused across the many cost queries the
+DP partition search makes.  On real hardware profiling means running the
+kernel; here it means querying the analytic device model -- the caching
+structure and query surface are the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Instruction, Program, TensorType, get_op
+from ..runtime.device import FrameworkProfile, GPUSpec
+from ..runtime.simulate import DISPATCH_OPS
+
+
+@dataclass
+class CachingOpProfiler:
+    """Measures (simulates) and caches per-op execution times.
+
+    Attributes
+    ----------
+    gpu / framework:
+        The device and execution stack being profiled.
+    profile_count:
+        Number of *actual* profiling runs performed (cache misses); tests
+        use this to assert the cache works and the optimization loop to
+        report profiling cost.
+    """
+
+    gpu: GPUSpec
+    framework: FrameworkProfile
+    profile_count: int = 0
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def op_time_ms(
+        self,
+        op: str,
+        in_types: list[TensorType],
+        attrs: dict | None = None,
+    ) -> float:
+        """Execution time of one op with the given input types."""
+        attrs = attrs or {}
+        key = self._key(op, in_types, attrs)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        t = self._profile(op, in_types, attrs)
+        self._cache[key] = t
+        return t
+
+    def instr_time_ms(self, instr: Instruction, program: Program) -> float:
+        """Execution time of a (non-communication) instruction."""
+        in_types = [program.type_of(v) for v in instr.inputs]
+        return self.op_time_ms(instr.op, in_types, instr.attrs)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _key(op: str, in_types: list[TensorType], attrs: dict):
+        attr_sig = tuple(
+            sorted(
+                (k, v)
+                for k, v in attrs.items()
+                if isinstance(v, (int, float, str, bool))
+            )
+        )
+        return (op, tuple(t.shape for t in in_types), attr_sig)
+
+    def _profile(self, op: str, in_types: list[TensorType], attrs: dict) -> float:
+        """One profiling run (a device-model query in this reproduction)."""
+        self.profile_count += 1
+        spec = get_op(op)
+        out_types = spec.infer(in_types, attrs)
+        flops = spec.flops(in_types, out_types, attrs)
+        nbytes = spec.membytes(in_types, out_types, attrs)
+        t = self.gpu.op_time_ms(flops, nbytes) * self.framework.compute_mult
+        if op in DISPATCH_OPS:
+            t *= self.framework.dispatch_mult
+        return t + self.framework.launch_ms(spec.kernels)
+
+    def cache_size(self) -> int:
+        """Number of distinct (op, shape) entries profiled so far."""
+        return len(self._cache)

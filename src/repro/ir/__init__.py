@@ -1,0 +1,52 @@
+"""Compiler IR substrate: tensors, ops, programs, autodiff, passes.
+
+This package is the stand-in for RAF/TVM in the paper: a shape-static,
+instruction-sequence IR of a full training iteration that Lancet's two
+optimization passes rewrite.
+"""
+
+from .autodiff import build_backward, insert_gradient_sync, insert_sgd
+from .graph import DependencyGraph, verify_schedulable
+from .instruction import Instruction, InstrKind
+from .ops import OpSpec, Stream, all_ops, get_op
+from .passes import Pass, PassManager, PassTiming
+from .program import Program
+from .tensor import (
+    AXIS_IRREGULAR,
+    NOT_PARTITIONED,
+    Dim,
+    DType,
+    TensorType,
+    Value,
+    axis_name,
+    route_type,
+)
+from .validate import ValidationError, validate
+
+__all__ = [
+    "AXIS_IRREGULAR",
+    "NOT_PARTITIONED",
+    "DType",
+    "DependencyGraph",
+    "Dim",
+    "Instruction",
+    "InstrKind",
+    "OpSpec",
+    "Pass",
+    "PassManager",
+    "PassTiming",
+    "Program",
+    "Stream",
+    "TensorType",
+    "ValidationError",
+    "Value",
+    "all_ops",
+    "axis_name",
+    "build_backward",
+    "get_op",
+    "insert_gradient_sync",
+    "insert_sgd",
+    "route_type",
+    "validate",
+    "verify_schedulable",
+]

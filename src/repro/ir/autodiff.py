@@ -1,0 +1,368 @@
+"""Reverse-mode autodiff over the Lancet IR.
+
+Builds the backward pass of a forward program, emitting *separate*
+activation-gradient (dX) and weight-gradient (dW) instructions -- the
+distinction that powers the paper's weight-gradient schedule pass: dW ops
+have no consumers in the backward chain (Fig. 3a), so they can be moved to
+overlap with all-to-alls.
+
+The emitted order is the standard "eager" reverse order (each layer's dW
+right next to its dX), which is exactly the *unoptimized* baseline schedule
+that Lancet improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .instruction import Instruction, InstrKind
+from .program import Program
+
+
+GradRule = Callable[[Program, Instruction, list[int | None]], list[int | None]]
+
+_GRAD_RULES: dict[str, GradRule] = {}
+
+
+def grad_rule(op: str) -> Callable[[GradRule], GradRule]:
+    """Decorator registering the gradient rule for ``op``."""
+
+    def deco(fn: GradRule) -> GradRule:
+        _GRAD_RULES[op] = fn
+        return fn
+
+    return deco
+
+
+# ---------------------------------------------------------------------------
+# Gradient rules.  Each takes (program, forward instruction, grads of its
+# outputs) and returns the grads of its inputs (None = no gradient).
+# ---------------------------------------------------------------------------
+
+
+@grad_rule("matmul")
+def _grad_matmul(p: Program, instr: Instruction, gouts: list[int | None]):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None]
+    x, w = instr.inputs
+    (gx,) = p.add("matmul_dx", [gy, w], kind=InstrKind.DX)
+    (gw,) = p.add("matmul_dw", [x, gy], kind=InstrKind.DW)
+    p.grads[w] = gw.id
+    return [gx.id, gw.id]
+
+
+@grad_rule("bias_add")
+def _grad_bias_add(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None]
+    b = instr.inputs[1]
+    (gb,) = p.add("bias_grad", [gy], kind=InstrKind.DW)
+    p.grads[b] = gb.id
+    return [gy, gb.id]
+
+
+@grad_rule("gelu")
+def _grad_gelu(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None]
+    (gx,) = p.add("gelu_dx", [gy, instr.inputs[0]], kind=InstrKind.DX)
+    return [gx.id]
+
+
+@grad_rule("relu")
+def _grad_relu(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None]
+    (gx,) = p.add("relu_dx", [gy, instr.inputs[0]], kind=InstrKind.DX)
+    return [gx.id]
+
+
+@grad_rule("add")
+def _grad_add(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    return [gy, gy]
+
+
+@grad_rule("scale")
+def _grad_scale(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None]
+    (gx,) = p.add("scale", [gy], attrs=dict(instr.attrs), kind=InstrKind.DX)
+    return [gx.id]
+
+
+@grad_rule("layernorm")
+def _grad_layernorm(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None, None]
+    x, gamma, beta = instr.inputs
+    (gx,) = p.add("layernorm_dx", [gy, x, gamma], kind=InstrKind.DX)
+    dgamma, dbeta = p.add("layernorm_dw", [gy, x], kind=InstrKind.DW)
+    p.grads[gamma] = dgamma.id
+    p.grads[beta] = dbeta.id
+    return [gx.id, dgamma.id, dbeta.id]
+
+
+@grad_rule("split3")
+def _grad_split3(p: Program, instr: Instruction, gouts):
+    if all(g is None for g in gouts):
+        return [None]
+    if any(g is None for g in gouts):
+        raise NotImplementedError("partial split3 gradients unsupported")
+    (gx,) = p.add("concat", list(gouts), attrs={"axis": 2}, kind=InstrKind.DX)
+    return [gx.id]
+
+
+@grad_rule("pos_embedding")
+def _grad_pos_embedding(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None]
+    pe = instr.inputs[1]
+    (gpe,) = p.add("pos_embedding_dw", [gy], kind=InstrKind.DW)
+    p.grads[pe] = gpe.id
+    return [gy, gpe.id]
+
+
+@grad_rule("attention")
+def _grad_attention(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None, None]
+    q, k, v = instr.inputs
+    gq, gk, gv = p.add(
+        "attention_dx", [gy, q, k, v], attrs=dict(instr.attrs), kind=InstrKind.DX
+    )
+    return [gq.id, gk.id, gv.id]
+
+
+@grad_rule("softmax")
+def _grad_softmax(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None]
+    y = instr.outputs[0]
+    (gx,) = p.add("softmax_dx", [gy, y], kind=InstrKind.DX)
+    return [gx.id]
+
+
+@grad_rule("embedding")
+def _grad_embedding(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None]
+    table, ids = instr.inputs
+    vocab = p.type_of(table).shape[0]
+    (gtable,) = p.add(
+        "embedding_dw", [gy, ids], attrs={"vocab_size": vocab}, kind=InstrKind.DW
+    )
+    p.grads[table] = gtable.id
+    return [gtable.id, None]
+
+
+@grad_rule("cross_entropy")
+def _grad_cross_entropy(p: Program, instr: Instruction, gouts):
+    logits, labels = instr.inputs
+    (glogits,) = p.add("cross_entropy_dx", [logits, labels], kind=InstrKind.DX)
+    return [glogits.id, None]
+
+
+@grad_rule("routing")
+def _grad_routing(p: Program, instr: Instruction, gouts):
+    # Routing decisions are discrete; gradient flows to the gate through
+    # moe_combine's dprobs path instead.
+    return [None]
+
+
+@grad_rule("routing_partial")
+def _grad_routing_partial(p: Program, instr: Instruction, gouts):
+    return [None, None]
+
+
+@grad_rule("capacity_init")
+def _grad_capacity_init(p: Program, instr: Instruction, gouts):
+    return []
+
+
+@grad_rule("moe_dispatch")
+def _grad_moe_dispatch(p: Program, instr: Instruction, gouts):
+    gbuf = gouts[0]
+    if gbuf is None:
+        return [None, None]
+    x, route = instr.inputs
+    xt = p.type_of(x)
+    attrs = {"batch": xt.shape[0], "seq": xt.shape[1], "hidden": xt.shape[2]}
+    (gx,) = p.add("moe_dispatch_dx", [gbuf, route], attrs=attrs, kind=InstrKind.DX)
+    return [gx.id, None]
+
+
+@grad_rule("moe_combine")
+def _grad_moe_combine(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None, None, None]
+    buf, route, probs = instr.inputs
+    buf_t = p.type_of(buf)
+    probs_t = p.type_of(probs)
+    (gbuf,) = p.add(
+        "moe_combine_dx",
+        [gy, route, probs],
+        attrs={"num_experts": buf_t.shape[0], "capacity": buf_t.shape[1]},
+        kind=InstrKind.DX,
+    )
+    (gprobs,) = p.add(
+        "moe_combine_dprobs",
+        [gy, buf, route],
+        attrs={
+            "batch": probs_t.shape[0],
+            "seq": probs_t.shape[1],
+            "num_experts": probs_t.shape[2],
+        },
+        kind=InstrKind.DX,
+    )
+    return [gbuf.id, None, gprobs.id]
+
+
+@grad_rule("expert_ffn")
+def _grad_expert_ffn(p: Program, instr: Instruction, gouts):
+    gout = gouts[0]
+    if gout is None:
+        return [None] * 5
+    buf, w1, b1, w2, b2 = instr.inputs
+    (gbuf,) = p.add(
+        "expert_ffn_dx", [gout, buf, w1, b1, w2], kind=InstrKind.DX
+    )
+    gw1, gb1, gw2, gb2 = p.add(
+        "expert_ffn_dw", [gout, buf, w1, b1, w2], kind=InstrKind.DW
+    )
+    p.grads[w1] = gw1.id
+    p.grads[b1] = gb1.id
+    p.grads[w2] = gw2.id
+    p.grads[b2] = gb2.id
+    return [gbuf.id, gw1.id, gb1.id, gw2.id, gb2.id]
+
+
+@grad_rule("all_to_all")
+def _grad_all_to_all(p: Program, instr: Instruction, gouts):
+    gy = gouts[0]
+    if gy is None:
+        return [None]
+    # the two all-to-alls are mutually inverse permutations, so the
+    # gradient of a scatter is a gather and vice versa
+    attrs = dict(instr.attrs)
+    if attrs.get("direction") == "scatter":
+        attrs["direction"] = "gather"
+    elif attrs.get("direction") == "gather":
+        attrs["direction"] = "scatter"
+    (gx,) = p.add("all_to_all", [gy], attrs=attrs, kind=InstrKind.COMM)
+    return [gx.id]
+
+
+# ---------------------------------------------------------------------------
+# Backward builder
+# ---------------------------------------------------------------------------
+
+
+def build_backward(program: Program, loss: int) -> None:
+    """Append the backward pass of ``program`` computing d(loss)/d(params).
+
+    Parameters
+    ----------
+    program:
+        Forward program; modified in place.
+    loss:
+        Value id of the scalar loss (produced by a ``cross_entropy``).
+
+    Notes
+    -----
+    Multiple gradient contributions to the same value are accumulated with
+    explicit ``add`` instructions (kind DX).  ``program.grads`` maps each
+    parameter id to its final gradient id afterwards.
+    """
+    contributions: dict[int, list[int]] = {}
+    forward_instrs = list(program.instructions)
+
+    def total_grad(vid: int) -> int | None:
+        """Materialize the accumulated gradient of a value (emitting adds)."""
+        contribs = contributions.get(vid)
+        if not contribs:
+            return None
+        acc = contribs[0]
+        for c in contribs[1:]:
+            (s,) = program.add("add", [acc, c], kind=InstrKind.DX)
+            acc = s.id
+        contributions[vid] = [acc]
+        return acc
+
+    for instr in reversed(forward_instrs):
+        produces_loss = loss in instr.outputs
+        gouts = [total_grad(o) for o in instr.outputs]
+        if not produces_loss and all(g is None for g in gouts):
+            continue  # no gradient flows through this instruction
+        rule = _GRAD_RULES.get(instr.op)
+        if rule is None:
+            raise NotImplementedError(f"no gradient rule for op {instr.op!r}")
+        gins = rule(program, instr, gouts)
+        if len(gins) != len(instr.inputs):
+            raise AssertionError(
+                f"grad rule for {instr.op} returned {len(gins)} grads "
+                f"for {len(instr.inputs)} inputs"
+            )
+        for vin, g in zip(instr.inputs, gins):
+            if g is not None:
+                contributions.setdefault(vin, []).append(g)
+
+    # Re-point param grads at their fully accumulated versions (a param used
+    # in several places, e.g. a tied embedding, accumulates here).
+    for pid in program.params:
+        g = total_grad(pid)
+        if g is not None:
+            program.grads[pid] = g
+
+
+def insert_gradient_sync(program: Program, local_params: set[int]) -> None:
+    """Insert all-reduce of every data-parallel parameter gradient.
+
+    Expert parameters (in ``local_params``) are sharded across devices
+    (expert parallelism) and must *not* be all-reduced.  Each all-reduce is
+    placed immediately after the instruction producing the gradient,
+    mirroring bucketed DDP issuing collectives as gradients become ready.
+    """
+    grad_to_param = {g: pa for pa, g in program.grads.items()}
+    new_instrs: list[Instruction] = []
+    replaced: dict[int, int] = {}
+    for instr in program.instructions:
+        new_instrs.append(instr)
+        for out in instr.outputs:
+            pa = grad_to_param.get(out)
+            if pa is None or pa in local_params:
+                continue
+            (synced,) = program.add("allreduce", [out], kind=InstrKind.COMM)
+            new_instrs.append(program.instructions.pop())
+            replaced[out] = synced.id
+            program.grads[pa] = synced.id
+    program.instructions = new_instrs
+    # later consumers of the raw grad (only the optimizer, inserted after
+    # this pass) will use program.grads, which now points at synced values.
+
+
+def insert_sgd(program: Program, lr: float = 0.01, momentum: float = 0.9) -> None:
+    """Append SGD-with-momentum update instructions for every parameter."""
+    for pid in list(program.params):
+        g = program.grads.get(pid)
+        if g is None:
+            continue
+        m = program.add_state(program.type_of(pid), f"mom_{program.values[pid].name}")
+        w2, m2 = program.add(
+            "sgd_update",
+            [pid, g, m.id],
+            attrs={"lr": lr, "momentum": momentum},
+            kind=InstrKind.OPTIMIZER,
+        )
+        program.outputs.extend([w2.id, m2.id])

@@ -1,0 +1,644 @@
+"""Operator registry for the Lancet IR.
+
+Each operator is described by an :class:`OpSpec` bundling:
+
+* output-shape inference (the IR is shape-static),
+* an analytic cost model (FLOPs and memory bytes touched) used by the
+  caching op profiler (paper Sec. 3),
+* the number of GPU kernels the op launches (partitioned ops pay per-kernel
+  launch overhead -- paper Challenge 2),
+* which execution *stream* it occupies (computation vs communication).
+
+The set of operators covers the full forward + backward + optimizer graph of
+a GPT-2 MoE model: dense transformer ops, the MoE block (gate softmax,
+routing, dispatch, all-to-all, grouped expert FFN, combine), the special
+capacity-passing partitioned gate (paper Fig. 5c), pipeline plumbing
+(split/concat) and gradient synchronization (all-reduce).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .tensor import Dim, DType, TensorType, route_type
+
+
+class Stream:
+    """Execution stream identifiers (GPU compute stream vs NCCL stream)."""
+
+    COMPUTE = "compute"
+    COMM = "comm"
+
+
+ShapeFn = Callable[[list[TensorType], dict], list[TensorType]]
+CostFn = Callable[[list[TensorType], list[TensorType], dict], float]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operator type."""
+
+    name: str
+    infer: ShapeFn
+    flops: CostFn
+    membytes: CostFn
+    kernels: int = 1
+    stream: str = Stream.COMPUTE
+    #: True for ops whose outputs alias/permute inputs without math
+    #: (split/concat); they cost memory traffic but no FLOPs.
+    is_data_movement: bool = False
+
+    @property
+    def is_comm(self) -> bool:
+        """Whether this op runs on the communication stream."""
+        return self.stream == Stream.COMM
+
+
+_REGISTRY: dict[str, OpSpec] = {}
+
+
+def register(spec: OpSpec) -> OpSpec:
+    """Add an op to the global registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"op {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_op(name: str) -> OpSpec:
+    """Look up an op by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown op {name!r}") from None
+
+
+def all_ops() -> dict[str, OpSpec]:
+    """A copy of the full registry."""
+    return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Cost helpers
+# ---------------------------------------------------------------------------
+
+
+def _io_bytes(ins: list[TensorType], outs: list[TensorType], attrs: dict) -> float:
+    """Total bytes of all inputs and outputs (memory-bound op model)."""
+    return float(sum(t.nbytes for t in ins) + sum(t.nbytes for t in outs))
+
+
+def _zero_flops(ins, outs, attrs) -> float:
+    return 0.0
+
+
+def _elementwise_flops(ins, outs, attrs) -> float:
+    """One FLOP per output element (activation functions etc.)."""
+    return float(sum(t.numel for t in outs))
+
+
+# ---------------------------------------------------------------------------
+# Dense / transformer ops
+# ---------------------------------------------------------------------------
+
+
+def _infer_matmul(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x, w = ins
+    if x.shape[-1] != w.shape[0]:
+        raise ValueError(f"matmul inner dim mismatch: {x} @ {w}")
+    out_shape = x.shape[:-1] + (w.shape[1],)
+    out_dims = x.dims[:-1] + (w.dims[1],)
+    return [TensorType(out_shape, x.dtype, out_dims)]
+
+
+def _matmul_flops(ins, outs, attrs) -> float:
+    x, w = ins
+    m = math.prod(x.shape[:-1])
+    k = x.shape[-1]
+    n = w.shape[1]
+    return 2.0 * m * k * n
+
+
+register(OpSpec("matmul", _infer_matmul, _matmul_flops, _io_bytes, kernels=1))
+
+
+def _infer_matmul_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    dy, w = ins
+    out_shape = dy.shape[:-1] + (w.shape[0],)
+    out_dims = dy.dims[:-1] + (w.dims[0],)
+    return [TensorType(out_shape, dy.dtype, out_dims)]
+
+
+def _matmul_dx_flops(ins, outs, attrs) -> float:
+    dy, w = ins
+    m = math.prod(dy.shape[:-1])
+    return 2.0 * m * w.shape[0] * w.shape[1]
+
+
+register(OpSpec("matmul_dx", _infer_matmul_dx, _matmul_dx_flops, _io_bytes))
+
+
+def _infer_matmul_dw(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x, dy = ins
+    return [TensorType((x.shape[-1], dy.shape[-1]), x.dtype, (x.dims[-1], dy.dims[-1]))]
+
+
+def _matmul_dw_flops(ins, outs, attrs) -> float:
+    x, dy = ins
+    m = math.prod(x.shape[:-1])
+    return 2.0 * m * x.shape[-1] * dy.shape[-1]
+
+
+register(OpSpec("matmul_dw", _infer_matmul_dw, _matmul_dw_flops, _io_bytes))
+
+
+def _infer_same_as_first(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    return [ins[0]]
+
+
+register(
+    OpSpec("bias_add", _infer_same_as_first, _elementwise_flops, _io_bytes)
+)
+
+
+def _infer_bias_grad(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    dy = ins[0]
+    return [TensorType((dy.shape[-1],), dy.dtype, (dy.dims[-1],))]
+
+
+register(
+    OpSpec("bias_grad", _infer_bias_grad, _elementwise_flops, _io_bytes)
+)
+
+register(OpSpec("gelu", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("relu", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("gelu_dx", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("relu_dx", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("add", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("scale", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("softmax", _infer_same_as_first, _elementwise_flops, _io_bytes))
+register(OpSpec("softmax_dx", _infer_same_as_first, _elementwise_flops, _io_bytes))
+
+
+def _infer_layernorm(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    return [ins[0]]
+
+
+register(
+    OpSpec("layernorm", _infer_layernorm, _elementwise_flops, _io_bytes, kernels=2)
+)
+register(
+    OpSpec(
+        "layernorm_dx", _infer_same_as_first, _elementwise_flops, _io_bytes, kernels=2
+    )
+)
+
+
+def _infer_layernorm_dw(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    dy, _x = ins
+    h = dy.shape[-1]
+    t = TensorType((h,), dy.dtype, (dy.dims[-1],))
+    return [t, t]
+
+
+register(
+    OpSpec("layernorm_dw", _infer_layernorm_dw, _elementwise_flops, _io_bytes)
+)
+
+
+def _infer_attention(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    q, k, v = ins
+    if not (q.shape == k.shape == v.shape):
+        raise ValueError(f"attention expects equal q/k/v shapes, got {q},{k},{v}")
+    return [q]
+
+
+def _attention_flops(ins, outs, attrs) -> float:
+    q = ins[0]
+    b, s, h = q.shape
+    # scores (B,S,S) and context (B,S,H): 2 batched matmuls.
+    return 2.0 * b * s * s * h * 2.0
+
+
+def _attention_bytes(ins, outs, attrs) -> float:
+    q = ins[0]
+    b, s, _h = q.shape
+    heads = attrs.get("num_heads", 1)
+    score_bytes = b * heads * s * s * q.dtype.nbytes
+    return _io_bytes(ins, outs, attrs) + 2.0 * score_bytes
+
+
+register(
+    OpSpec("attention", _infer_attention, _attention_flops, _attention_bytes, kernels=4)
+)
+
+
+def _infer_attention_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    _dy, q, k, v = ins
+    return [q, k, v]
+
+
+def _attention_dx_flops(ins, outs, attrs) -> float:
+    return 2.0 * _attention_flops(ins[1:], outs, attrs)
+
+
+register(
+    OpSpec(
+        "attention_dx",
+        _infer_attention_dx,
+        _attention_dx_flops,
+        _attention_bytes,
+        kernels=6,
+    )
+)
+
+
+def _infer_embedding(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    table, ids = ins
+    h = table.shape[1]
+    return [TensorType(ids.shape + (h,), table.dtype, ids.dims + (Dim.HIDDEN,))]
+
+
+register(
+    OpSpec("embedding", _infer_embedding, _zero_flops, _io_bytes)
+)
+
+
+def _infer_embedding_dw(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    dy, _ids = ins
+    vocab = attrs["vocab_size"]
+    return [TensorType((vocab, dy.shape[-1]), dy.dtype, (Dim.VOCAB, Dim.HIDDEN))]
+
+
+register(
+    OpSpec("embedding_dw", _infer_embedding_dw, _elementwise_flops, _io_bytes)
+)
+
+
+def _infer_cross_entropy(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    logits, _labels = ins
+    return [TensorType((), DType.F32, ())]
+
+
+def _ce_flops(ins, outs, attrs) -> float:
+    return 5.0 * ins[0].numel
+
+
+register(
+    OpSpec("cross_entropy", _infer_cross_entropy, _ce_flops, _io_bytes, kernels=2)
+)
+
+
+def _infer_cross_entropy_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    logits, _labels = ins
+    return [logits]
+
+
+register(
+    OpSpec(
+        "cross_entropy_dx", _infer_cross_entropy_dx, _ce_flops, _io_bytes, kernels=2
+    )
+)
+
+
+def _infer_split3(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x = ins[0]
+    if x.shape[-1] % 3 != 0:
+        raise ValueError(f"split3 needs last dim divisible by 3, got {x}")
+    h = x.shape[-1] // 3
+    t = TensorType(x.shape[:-1] + (h,), x.dtype, x.dims)
+    return [t, t, t]
+
+
+register(
+    OpSpec("split3", _infer_split3, _zero_flops, _io_bytes, is_data_movement=True)
+)
+
+
+def _infer_pos_embedding(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x, pe = ins
+    if x.shape[1:] != pe.shape:
+        raise ValueError(f"pos_embedding shape mismatch: {x} vs {pe}")
+    return [x]
+
+
+register(
+    OpSpec("pos_embedding", _infer_pos_embedding, _elementwise_flops, _io_bytes)
+)
+
+
+def _infer_pos_embedding_dw(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    gy = ins[0]
+    return [TensorType(gy.shape[1:], gy.dtype, gy.dims[1:])]
+
+
+register(
+    OpSpec("pos_embedding_dw", _infer_pos_embedding_dw, _elementwise_flops, _io_bytes)
+)
+
+
+# ---------------------------------------------------------------------------
+# MoE ops
+# ---------------------------------------------------------------------------
+
+
+def _moe_buf_type(e: int, c: int, h: int, dtype: DType) -> TensorType:
+    return TensorType((e, c, h), dtype, (Dim.EXPERT, Dim.CAPACITY, Dim.HIDDEN))
+
+
+def _infer_routing(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    probs = ins[0]
+    tokens = math.prod(probs.shape[:-1])
+    return [route_type(tokens)]
+
+
+register(
+    OpSpec("routing", _infer_routing, _elementwise_flops, _io_bytes, kernels=3)
+)
+
+
+def _infer_capacity_init(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    e = attrs["num_experts"]
+    return [TensorType((e,), DType.I32, (Dim.EXPERT,))]
+
+
+register(
+    OpSpec("capacity_init", _infer_capacity_init, _zero_flops, _io_bytes)
+)
+
+
+def _infer_routing_partial(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    probs, cap_state = ins
+    tokens = math.prod(probs.shape[:-1])
+    return [route_type(tokens), cap_state]
+
+
+register(
+    OpSpec(
+        "routing_partial", _infer_routing_partial, _elementwise_flops, _io_bytes,
+        kernels=3,
+    )
+)
+
+
+def _infer_route_slice(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    start, stop = attrs["start"], attrs["stop"]
+    if not 0 <= start < stop:
+        raise ValueError(f"bad route slice [{start}, {stop})")
+    return [route_type(stop - start)]
+
+
+register(
+    OpSpec(
+        "route_slice", _infer_route_slice, _zero_flops, _io_bytes,
+        is_data_movement=True,
+    )
+)
+
+
+def _infer_route_concat(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    total = sum(t.shape[0] for t in ins)
+    return [route_type(total)]
+
+
+register(
+    OpSpec(
+        "route_concat", _infer_route_concat, _zero_flops, _io_bytes,
+        is_data_movement=True,
+    )
+)
+
+
+def _infer_moe_dispatch(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x, _route = ins
+    e = attrs["num_experts"]
+    c = attrs["capacity"]
+    return [_moe_buf_type(e, c, x.shape[-1], x.dtype)]
+
+
+def _dispatch_bytes(ins, outs, attrs) -> float:
+    return _io_bytes(ins, outs, attrs)
+
+
+register(
+    OpSpec("moe_dispatch", _infer_moe_dispatch, _zero_flops, _dispatch_bytes, kernels=2)
+)
+
+
+def _infer_moe_dispatch_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    _dbuf, _route = ins
+    b = attrs["batch"]
+    s = attrs["seq"]
+    h = attrs["hidden"]
+    return [TensorType((b, s, h), ins[0].dtype, (Dim.BATCH, Dim.SEQ, Dim.HIDDEN))]
+
+
+register(
+    OpSpec(
+        "moe_dispatch_dx", _infer_moe_dispatch_dx, _zero_flops, _dispatch_bytes,
+        kernels=2,
+    )
+)
+
+
+def _infer_moe_combine(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    _buf, _route, probs = ins
+    h = ins[0].shape[-1]
+    out_shape = probs.shape[:-1] + (h,)
+    out_dims = probs.dims[:-1] + (Dim.HIDDEN,)
+    return [TensorType(out_shape, ins[0].dtype, out_dims)]
+
+
+register(
+    OpSpec(
+        "moe_combine", _infer_moe_combine, _elementwise_flops, _dispatch_bytes,
+        kernels=2,
+    )
+)
+
+
+def _infer_moe_combine_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    _dy, _route, _probs = ins
+    e = attrs["num_experts"]
+    c = attrs["capacity"]
+    h = ins[0].shape[-1]
+    return [_moe_buf_type(e, c, h, ins[0].dtype)]
+
+
+register(
+    OpSpec(
+        "moe_combine_dx", _infer_moe_combine_dx, _elementwise_flops, _dispatch_bytes,
+        kernels=2,
+    )
+)
+
+
+def _infer_moe_combine_dprobs(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    _dy, _buf, _route = ins
+    b = attrs["batch"]
+    s = attrs["seq"]
+    e = attrs["num_experts"]
+    return [TensorType((b, s, e), ins[0].dtype, (Dim.BATCH, Dim.SEQ, Dim.EXPERT))]
+
+
+register(
+    OpSpec(
+        "moe_combine_dprobs",
+        _infer_moe_combine_dprobs,
+        _elementwise_flops,
+        _dispatch_bytes,
+        kernels=2,
+    )
+)
+
+
+def _infer_expert_ffn(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    buf = ins[0]
+    return [buf]
+
+
+def _expert_ffn_flops(ins, outs, attrs) -> float:
+    buf, w1 = ins[0], ins[1]
+    tokens = buf.shape[0] * buf.shape[1]
+    h, f = w1.shape[-2], w1.shape[-1]
+    return 2.0 * tokens * h * f * 2.0
+
+
+register(
+    OpSpec("expert_ffn", _infer_expert_ffn, _expert_ffn_flops, _io_bytes, kernels=4)
+)
+
+
+def _infer_expert_ffn_dx(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    # (dout, x, w1, b1, w2) -> dx
+    return [ins[1]]
+
+
+def _expert_ffn_dx_flops(ins, outs, attrs) -> float:
+    dout, _x, w1 = ins[0], ins[1], ins[2]
+    tokens = dout.shape[0] * dout.shape[1]
+    h, f = w1.shape[-2], w1.shape[-1]
+    return 2.0 * tokens * h * f * 2.0
+
+
+register(
+    OpSpec(
+        "expert_ffn_dx", _infer_expert_ffn_dx, _expert_ffn_dx_flops, _io_bytes,
+        kernels=5,
+    )
+)
+
+
+def _infer_expert_ffn_dw(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    # (dout, x, w1, b1, w2) -> (dw1, db1, dw2, db2)
+    _dout, _x, w1, b1, w2 = ins
+    b2 = TensorType((w2.shape[0], w2.shape[2]), w2.dtype, (w2.dims[0], w2.dims[2]))
+    return [w1, b1, w2, b2]
+
+
+def _expert_ffn_dw_flops(ins, outs, attrs) -> float:
+    dout, _x, w1 = ins[0], ins[1], ins[2]
+    tokens = dout.shape[0] * dout.shape[1]
+    h, f = w1.shape[-2], w1.shape[-1]
+    return 2.0 * tokens * h * f * 2.0
+
+
+register(
+    OpSpec(
+        "expert_ffn_dw", _infer_expert_ffn_dw, _expert_ffn_dw_flops, _io_bytes,
+        kernels=6,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Communication ops
+# ---------------------------------------------------------------------------
+
+
+def _infer_all_to_all(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    return [ins[0]]
+
+
+def _a2a_bytes(ins, outs, attrs) -> float:
+    return float(ins[0].nbytes)
+
+
+register(
+    OpSpec(
+        "all_to_all", _infer_all_to_all, _zero_flops, _a2a_bytes,
+        kernels=1, stream=Stream.COMM,
+    )
+)
+
+
+register(
+    OpSpec(
+        "allreduce", _infer_same_as_first, _zero_flops, _a2a_bytes,
+        kernels=1, stream=Stream.COMM,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline plumbing (emitted by the partition rewriter)
+# ---------------------------------------------------------------------------
+
+
+def _infer_split_chunk(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    x = ins[0]
+    return [x.split(attrs["axis"], attrs["parts"], attrs["index"])]
+
+
+register(
+    OpSpec(
+        "split_chunk", _infer_split_chunk, _zero_flops, _io_bytes,
+        is_data_movement=True,
+    )
+)
+
+
+def _infer_concat(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    axis = attrs["axis"]
+    first = ins[0]
+    total = sum(t.shape[axis] for t in ins)
+    for t in ins:
+        if (
+            t.rank != first.rank
+            or t.shape[:axis] != first.shape[:axis]
+            or t.shape[axis + 1 :] != first.shape[axis + 1 :]
+        ):
+            raise ValueError("concat chunks must agree on non-concat dims")
+    shape = first.shape[:axis] + (total,) + first.shape[axis + 1 :]
+    return [first.with_shape(shape)]
+
+
+register(
+    OpSpec("concat", _infer_concat, _zero_flops, _io_bytes, is_data_movement=True)
+)
+
+
+def _infer_accumulate(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    return [ins[0]]
+
+
+register(
+    OpSpec("accumulate", _infer_accumulate, _elementwise_flops, _io_bytes)
+)
+
+
+# ---------------------------------------------------------------------------
+# Optimizer
+# ---------------------------------------------------------------------------
+
+
+def _infer_sgd_update(ins: list[TensorType], attrs: dict) -> list[TensorType]:
+    w, _g, m = ins
+    return [w, m]
+
+
+register(
+    OpSpec("sgd_update", _infer_sgd_update, _elementwise_flops, _io_bytes, kernels=1)
+)

@@ -1,0 +1,23 @@
+"""Benchmark model definitions (GPT-2 MoE variants from the paper)."""
+
+from .config import (
+    ALL_GATES,
+    BATCH_DEPENDENT_GATES,
+    BATCH_PREFIX_STABLE_GATES,
+    GPT2MoEConfig,
+    RunConfig,
+)
+from .gpt2_moe import ModelGraph, build_forward, build_training_graph
+from .transformer import MoELayerInfo
+
+__all__ = [
+    "ALL_GATES",
+    "BATCH_DEPENDENT_GATES",
+    "BATCH_PREFIX_STABLE_GATES",
+    "GPT2MoEConfig",
+    "ModelGraph",
+    "MoELayerInfo",
+    "RunConfig",
+    "build_forward",
+    "build_training_graph",
+]

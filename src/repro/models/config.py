@@ -1,0 +1,151 @@
+"""Model configurations for the GPT-2 MoE benchmark models.
+
+The paper evaluates two variants (Sec. 7): GPT2-S-MoE (12 layers, hidden
+768) and GPT2-L-MoE (24 layers, hidden 1024), with every other Transformer
+block's feed-forward replaced by an MoE layer and *two experts per GPU* at
+every cluster size (weak scaling of the expert count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+#: Gating methods whose expert assignment can be decided from a prefix of
+#: the batch (paper Sec. 2.3): partitioning is allowed both before and
+#: after the MoE layer for these.
+BATCH_PREFIX_STABLE_GATES = frozenset({"switch", "topk", "random", "hash"})
+
+#: Gating methods that need the whole batch before deciding assignments
+#: (e.g. Batch Prioritized Routing sorts all tokens by importance), so only
+#: post-MoE partitioning is legal.
+BATCH_DEPENDENT_GATES = frozenset({"bpr", "expert_choice"})
+
+ALL_GATES = BATCH_PREFIX_STABLE_GATES | BATCH_DEPENDENT_GATES
+
+
+@dataclass(frozen=True)
+class GPT2MoEConfig:
+    """Architecture hyper-parameters of a GPT-2 style MoE model.
+
+    Attributes mirror the paper's setup; ``moe_every=2`` means every second
+    Transformer block hosts an MoE layer.
+    """
+
+    name: str = "gpt2-moe"
+    num_layers: int = 12
+    hidden: int = 768
+    num_heads: int = 12
+    ffn_mult: int = 4
+    vocab_size: int = 50_257
+    max_seq: int = 1024
+    moe_every: int = 2
+    experts_per_gpu: int = 2
+    capacity_factor: float = 1.25
+    gate: str = "switch"
+    top_k: int = 1
+    #: add a dense *shared expert* to every MoE layer (PR-MoE /
+    #: DeepSeek-MoE style, paper Sec. 8): all tokens flow through it, and
+    #: its computation naturally overlaps the all-to-all.
+    shared_expert: bool = False
+    #: hidden size of the shared expert's FFN (defaults to ffn_hidden/4,
+    #: the "smaller shared expert" of PR-MoE)
+    shared_expert_mult: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gate not in ALL_GATES:
+            raise ValueError(f"unknown gate {self.gate!r}; pick from {sorted(ALL_GATES)}")
+        if self.hidden % self.num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+
+    @property
+    def ffn_hidden(self) -> int:
+        """Feed-forward inner dimension (dense blocks and experts)."""
+        return self.ffn_mult * self.hidden
+
+    @property
+    def num_moe_layers(self) -> int:
+        """Number of MoE layers in the model."""
+        return sum(1 for i in range(self.num_layers) if self.is_moe_layer(i))
+
+    def is_moe_layer(self, layer: int) -> bool:
+        """Whether block ``layer`` (0-based) hosts an MoE feed-forward."""
+        return layer % self.moe_every == (self.moe_every - 1)
+
+    def num_experts(self, num_gpus: int) -> int:
+        """Total expert count when running on ``num_gpus`` devices."""
+        return self.experts_per_gpu * num_gpus
+
+    def capacity(self, batch: int, seq: int, num_gpus: int) -> int:
+        """Per-expert, per-device token capacity ``C`` (GShard convention).
+
+        Each device may send up to ``C`` tokens to each expert, with
+        ``C = ceil(capacity_factor * top_k * tokens / num_experts)``.
+        """
+        tokens = batch * seq
+        e = self.num_experts(num_gpus)
+        c = -(-int(self.capacity_factor * self.top_k * tokens) // e)
+        return max(c, 1)
+
+    @property
+    def gate_is_batch_prefix_stable(self) -> bool:
+        """True if partitioning *before* the MoE layer keeps gating exact."""
+        return self.gate in BATCH_PREFIX_STABLE_GATES
+
+    def with_gate(self, gate: str, top_k: int | None = None) -> "GPT2MoEConfig":
+        """Copy of this config with a different gating method."""
+        return replace(self, gate=gate, top_k=top_k if top_k is not None else self.top_k)
+
+    # -- paper presets ------------------------------------------------------
+
+    @classmethod
+    def gpt2_s_moe(cls, **overrides) -> "GPT2MoEConfig":
+        """GPT2-S-MoE: 12 layers, hidden 768 (paper Sec. 7)."""
+        base = dict(name="GPT2-S-MoE", num_layers=12, hidden=768, num_heads=12)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def gpt2_l_moe(cls, **overrides) -> "GPT2MoEConfig":
+        """GPT2-L-MoE: 24 layers, hidden 1024 (paper Sec. 7)."""
+        base = dict(name="GPT2-L-MoE", num_layers=24, hidden=1024, num_heads=16)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "GPT2MoEConfig":
+        """A miniature config for tests: 2 layers, hidden 16, vocab 64."""
+        base = dict(
+            name="tiny",
+            num_layers=2,
+            hidden=16,
+            num_heads=2,
+            vocab_size=64,
+            max_seq=32,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A concrete training-run setting: model x batch x cluster size."""
+
+    model: GPT2MoEConfig
+    batch_per_gpu: int
+    seq_len: int
+    num_gpus: int
+
+    @property
+    def num_experts(self) -> int:
+        return self.model.num_experts(self.num_gpus)
+
+    @property
+    def capacity(self) -> int:
+        return self.model.capacity(self.batch_per_gpu, self.seq_len, self.num_gpus)
+
+    @property
+    def tokens_per_gpu(self) -> int:
+        return self.batch_per_gpu * self.seq_len

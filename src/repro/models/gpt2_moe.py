@@ -1,0 +1,119 @@
+"""Top-level GPT-2 MoE graph builders.
+
+Produces the full training-iteration IR (forward + backward + gradient
+sync + SGD) that Lancet's passes consume -- the benchmark workload of the
+paper (Sec. 7: HuggingFace GPT-2 with every other FFN replaced by an MoE
+layer, SGD with momentum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import (
+    Dim,
+    DType,
+    Program,
+    TensorType,
+    build_backward,
+    insert_gradient_sync,
+    insert_sgd,
+    validate,
+)
+from .config import GPT2MoEConfig
+from .transformer import BuildContext, MoELayerInfo, add_layernorm, add_transformer_block
+
+
+@dataclass
+class ModelGraph:
+    """A built model: the IR program plus structural metadata."""
+
+    program: Program
+    cfg: GPT2MoEConfig
+    batch: int
+    seq: int
+    num_gpus: int
+    loss: int
+    moe_layers: list[MoELayerInfo] = field(default_factory=list)
+    expert_params: set[int] = field(default_factory=set)
+    #: number of instructions in the forward pass (prefix of the program)
+    forward_len: int = 0
+
+
+def build_forward(
+    cfg: GPT2MoEConfig,
+    batch: int,
+    seq: int,
+    num_gpus: int,
+    dtype: DType = DType.F16,
+) -> ModelGraph:
+    """Build the forward pass: embeddings, blocks, LM head, loss."""
+    if seq > cfg.max_seq:
+        raise ValueError(f"seq {seq} exceeds max_seq {cfg.max_seq}")
+    p = Program(f"{cfg.name}-b{batch}-s{seq}-g{num_gpus}")
+    ctx = BuildContext(p, cfg, batch, seq, num_gpus, dtype)
+
+    ids = p.add_input(
+        TensorType((batch, seq), DType.I32, (Dim.BATCH, Dim.SEQ)), "input_ids"
+    )
+    labels = p.add_input(
+        TensorType((batch, seq), DType.I32, (Dim.BATCH, Dim.SEQ)), "labels"
+    )
+
+    wte = ctx.param((cfg.vocab_size, cfg.hidden), (Dim.VOCAB, Dim.HIDDEN), "wte")
+    wpe = ctx.param((seq, cfg.hidden), (Dim.SEQ, Dim.HIDDEN), "wpe")
+    (x,) = p.add("embedding", [wte, ids.id], out_names=["tok_emb"])
+    (x,) = p.add("pos_embedding", [x.id, wpe], out_names=["emb"])
+    xid = x.id
+
+    for layer in range(cfg.num_layers):
+        xid = add_transformer_block(ctx, xid, layer)
+
+    xid = add_layernorm(ctx, xid, "ln_f")
+    w_lm = ctx.param((cfg.hidden, cfg.vocab_size), (Dim.HIDDEN, Dim.VOCAB), "lm_head.w")
+    (logits,) = p.add("matmul", [xid, w_lm], out_names=["logits"])
+    (loss,) = p.add("cross_entropy", [logits.id, labels.id], out_names=["loss"])
+    p.outputs.append(loss.id)
+
+    return ModelGraph(
+        program=p,
+        cfg=cfg,
+        batch=batch,
+        seq=seq,
+        num_gpus=num_gpus,
+        loss=loss.id,
+        moe_layers=ctx.moe_layers,
+        expert_params=ctx.expert_params,
+        forward_len=len(p.instructions),
+    )
+
+
+def build_training_graph(
+    cfg: GPT2MoEConfig,
+    batch: int,
+    seq: int,
+    num_gpus: int,
+    lr: float = 0.01,
+    momentum: float = 0.9,
+    gradient_sync: bool = True,
+    dtype: DType = DType.F16,
+    check: bool = True,
+) -> ModelGraph:
+    """Build the full training-iteration IR for one step.
+
+    Parameters
+    ----------
+    gradient_sync:
+        Insert all-reduce for data-parallel (non-expert) gradients.
+    check:
+        Run the IR validator on the result.
+    """
+    graph = build_forward(cfg, batch, seq, num_gpus, dtype)
+    p = graph.program
+    build_backward(p, graph.loss)
+    if gradient_sync and num_gpus > 1:
+        insert_gradient_sync(p, graph.expert_params)
+    insert_sgd(p, lr=lr, momentum=momentum)
+    if check:
+        validate(p)
+    return graph

@@ -1,0 +1,88 @@
+"""Parameter / input initialization for numeric execution of model graphs.
+
+Produces per-device value dictionaries suitable for
+:class:`repro.runtime.executor.NumericExecutor`: data-parallel parameters
+are replicated across devices, expert parameters get independent draws
+(expert parallelism), and each device receives its own input batch shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Dim, DType
+from .gpt2_moe import ModelGraph
+
+
+def _init_array(shape, name: str, rng: np.random.Generator) -> np.ndarray:
+    """Scaled-normal init for weights, zeros for biases/norm offsets."""
+    if not shape:
+        return np.zeros(())
+    lname = name.lower()
+    if lname.endswith((".b", ".b1", ".b2", ".beta")) or "bias" in lname:
+        return np.zeros(shape)
+    if lname.endswith(".gamma"):
+        return np.ones(shape)
+    fan_in = shape[-2] if len(shape) >= 2 else shape[-1]
+    return rng.standard_normal(shape) * (1.0 / np.sqrt(max(fan_in, 1)))
+
+
+def init_param_values(
+    graph: ModelGraph, seed: int = 0
+) -> list[dict[int, np.ndarray]]:
+    """Per-device parameter + optimizer-state values.
+
+    Non-expert parameters are identical on every device (data
+    parallelism); expert parameters differ per device.
+    """
+    p = graph.program
+    g = graph.num_gpus
+    shared_rng = np.random.default_rng(seed)
+    device_rngs = [np.random.default_rng(seed + 1000 + d) for d in range(g)]
+    envs: list[dict[int, np.ndarray]] = [{} for _ in range(g)]
+
+    for pid in p.params:
+        val = p.values[pid]
+        if pid in graph.expert_params:
+            for d in range(g):
+                envs[d][pid] = _init_array(val.type.shape, val.name, device_rngs[d])
+        else:
+            arr = _init_array(val.type.shape, val.name, shared_rng)
+            for d in range(g):
+                envs[d][pid] = arr.copy()
+
+    for sid in p.states:
+        val = p.values[sid]
+        for d in range(g):
+            envs[d][sid] = np.zeros(val.type.shape)
+
+    return envs
+
+
+def make_batch(
+    graph: ModelGraph, seed: int = 0
+) -> list[dict[int, np.ndarray]]:
+    """Per-device input batches (token ids and labels)."""
+    p = graph.program
+    rng = np.random.default_rng(seed + 99)
+    out: list[dict[int, np.ndarray]] = [{} for _ in range(graph.num_gpus)]
+    for vid in p.inputs:
+        val = p.values[vid]
+        for d in range(graph.num_gpus):
+            if val.type.dtype in (DType.I32, DType.I64):
+                arr = rng.integers(
+                    0, graph.cfg.vocab_size, size=val.type.shape, dtype=np.int64
+                )
+            else:
+                arr = rng.standard_normal(val.type.shape)
+            out[d][vid] = arr
+    return out
+
+
+def init_device_values(
+    graph: ModelGraph, seed: int = 0
+) -> list[dict[int, np.ndarray]]:
+    """Params + states + a batch, merged per device (executor-ready)."""
+    params = init_param_values(graph, seed)
+    batch = make_batch(graph, seed)
+    return [{**params[d], **batch[d]} for d in range(graph.num_gpus)]

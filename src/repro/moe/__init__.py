@@ -1,0 +1,68 @@
+"""Mixture-of-Experts numerical substrate.
+
+Standalone, numerically exact implementation of gating, routing, capacity,
+dispatch/combine, grouped expert FFNs, and the (simulated) multi-device
+MoE layer -- everything the paper's MoE workload needs, independent of the
+compiler IR.
+"""
+
+from .capacity import CapacityState, expert_capacity
+from .dispatch import (
+    combine,
+    combine_dprobs,
+    combine_dx,
+    dispatch,
+    dispatch_dx,
+    exchange_expert_buffers,
+    exchange_expert_buffers_inverse,
+    gate_weights,
+)
+from .experts import expert_ffn, expert_ffn_backward, gelu, gelu_grad
+from .layer import DistributedMoELayer, MoEForwardCache, MoELayerParams, softmax
+from .partitioned import (
+    MicrobatchTrace,
+    forward_microbatched_capacity_passing,
+    forward_microbatched_naive,
+)
+from .routing import (
+    RoutingInfo,
+    route_bpr,
+    route_expert_choice,
+    route_hash,
+    route_random,
+    route_switch,
+    route_tokens,
+    topk_choices,
+)
+
+__all__ = [
+    "CapacityState",
+    "DistributedMoELayer",
+    "MicrobatchTrace",
+    "MoEForwardCache",
+    "MoELayerParams",
+    "RoutingInfo",
+    "combine",
+    "combine_dprobs",
+    "combine_dx",
+    "dispatch",
+    "dispatch_dx",
+    "exchange_expert_buffers",
+    "exchange_expert_buffers_inverse",
+    "expert_capacity",
+    "expert_ffn",
+    "expert_ffn_backward",
+    "forward_microbatched_capacity_passing",
+    "forward_microbatched_naive",
+    "gate_weights",
+    "gelu",
+    "gelu_grad",
+    "route_bpr",
+    "route_expert_choice",
+    "route_hash",
+    "route_random",
+    "route_switch",
+    "route_tokens",
+    "softmax",
+    "topk_choices",
+]

@@ -1,0 +1,56 @@
+"""Expert-capacity bookkeeping.
+
+The expert capacity ``C`` bounds how many tokens each expert may receive
+from one device per step (paper Sec. 2.1): excess tokens are dropped,
+under-full slots are zero-padded so tensor shapes stay static.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def expert_capacity(
+    tokens: int, num_experts: int, capacity_factor: float = 1.25, k: int = 1
+) -> int:
+    """Per-expert, per-device capacity: ``ceil(cf * k * tokens / E)``."""
+    if tokens <= 0 or num_experts <= 0:
+        raise ValueError("tokens and num_experts must be positive")
+    return max(1, math.ceil(capacity_factor * k * tokens / num_experts))
+
+
+@dataclass
+class CapacityState:
+    """Per-expert used-capacity counters threaded between batch chunks.
+
+    This is the state the paper's special gating operators pass between
+    partitions (Fig. 5c): after chunk ``p`` uses some capacity, chunk
+    ``p+1`` starts from these counts, so the union of chunk routings is
+    token-for-token identical to routing the whole batch at once.
+    """
+
+    num_experts: int
+    capacity: int
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = np.zeros(self.num_experts, dtype=np.int64)
+        else:
+            self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.shape != (self.num_experts,):
+            raise ValueError("counts must have shape (num_experts,)")
+
+    def remaining(self) -> np.ndarray:
+        """Free slots per expert."""
+        return np.maximum(self.capacity - self.counts, 0)
+
+    def advanced(self, new_counts: np.ndarray) -> "CapacityState":
+        """State after a chunk consumed capacity up to ``new_counts``."""
+        return CapacityState(self.num_experts, self.capacity, new_counts)
+
+    def copy(self) -> "CapacityState":
+        return CapacityState(self.num_experts, self.capacity, self.counts.copy())

@@ -1,0 +1,123 @@
+"""Token dispatch/combine between sequence order and expert buffers.
+
+These are the "scatter to [E, C, H] buffer" / "gather back to [B, S, H]"
+operations around the all-to-alls in an MoE layer (paper Fig. 1), plus
+their exact gradients, and the device-to-device buffer exchange that an
+all-to-all performs on the dispatch buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .routing import RoutingInfo
+
+
+def dispatch(x_flat: np.ndarray, info: RoutingInfo) -> np.ndarray:
+    """Scatter tokens into the [E, C, H] dispatch buffer (zero padded)."""
+    t, h = x_flat.shape
+    if t != info.num_tokens:
+        raise ValueError(f"{t} tokens vs routing over {info.num_tokens}")
+    buf = np.zeros((info.num_experts, info.capacity, h), dtype=x_flat.dtype)
+    buf[info.expert_idx, info.slot_idx] = x_flat[info.token_idx]
+    return buf
+
+
+def dispatch_dx(dbuf: np.ndarray, info: RoutingInfo) -> np.ndarray:
+    """Gradient of :func:`dispatch` w.r.t. the token input (gather-add)."""
+    h = dbuf.shape[-1]
+    dx = np.zeros((info.num_tokens, h), dtype=dbuf.dtype)
+    np.add.at(dx, info.token_idx, dbuf[info.expert_idx, info.slot_idx])
+    return dx
+
+
+def gate_weights(info: RoutingInfo, probs: np.ndarray) -> np.ndarray:
+    """Combine weight of each accepted assignment: the gate probability of
+    the (token, chosen expert) pair."""
+    return probs[info.token_idx, info.expert_idx]
+
+
+def combine(buf: np.ndarray, info: RoutingInfo, probs: np.ndarray) -> np.ndarray:
+    """Gather expert outputs back to token order, weighted by gate probs.
+
+    Dropped tokens receive zeros (they skip the expert entirely; the
+    residual connection carries their activation forward).
+    """
+    h = buf.shape[-1]
+    w = gate_weights(info, probs).astype(buf.dtype)
+    y = np.zeros((info.num_tokens, h), dtype=buf.dtype)
+    np.add.at(
+        y, info.token_idx, buf[info.expert_idx, info.slot_idx] * w[:, None]
+    )
+    return y
+
+
+def combine_dx(dy_flat: np.ndarray, info: RoutingInfo, probs: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`combine` w.r.t. the expert-output buffer."""
+    h = dy_flat.shape[-1]
+    w = gate_weights(info, probs).astype(dy_flat.dtype)
+    dbuf = np.zeros((info.num_experts, info.capacity, h), dtype=dy_flat.dtype)
+    dbuf[info.expert_idx, info.slot_idx] = dy_flat[info.token_idx] * w[:, None]
+    return dbuf
+
+
+def combine_dprobs(
+    dy_flat: np.ndarray, buf: np.ndarray, info: RoutingInfo
+) -> np.ndarray:
+    """Gradient of :func:`combine` w.r.t. the gate probabilities."""
+    dprobs = np.zeros((info.num_tokens, info.num_experts), dtype=dy_flat.dtype)
+    contrib = np.sum(
+        dy_flat[info.token_idx] * buf[info.expert_idx, info.slot_idx], axis=-1
+    )
+    np.add.at(dprobs, (info.token_idx, info.expert_idx), contrib)
+    return dprobs
+
+
+# ---------------------------------------------------------------------------
+# Buffer exchange (the data motion an all-to-all performs)
+# ---------------------------------------------------------------------------
+
+
+def exchange_expert_buffers(bufs: list[np.ndarray]) -> list[np.ndarray]:
+    """Functional all-to-all over per-device dispatch buffers.
+
+    Device ``d`` holds ``bufs[d]`` of shape [E, C, H] where row ``e`` is
+    destined for the device owning expert ``e`` (experts are sharded
+    contiguously: device ``owner = e // El``).  Returns the received
+    buffers, laid out *local-expert-major*: on device ``d``, row
+    ``le * G + s`` holds what source device ``s`` sent for local expert
+    ``le`` -- i.e. a reshape to [El, G*C, H] groups each local expert's
+    tokens contiguously for the grouped expert FFN.
+    """
+    g = len(bufs)
+    e, c, h = bufs[0].shape
+    if e % g != 0:
+        raise ValueError(f"{e} experts not divisible by {g} devices")
+    el = e // g
+    out: list[np.ndarray] = []
+    for d in range(g):
+        recv = np.empty((el * g, c, h), dtype=bufs[0].dtype)
+        for s in range(g):
+            # chunk of source s targeted at device d: rows [d*el, (d+1)*el)
+            chunk = bufs[s][d * el : (d + 1) * el]  # [El, C, H]
+            recv[np.arange(el) * g + s] = chunk
+        out.append(recv)
+    return out
+
+
+def exchange_expert_buffers_inverse(bufs: list[np.ndarray]) -> list[np.ndarray]:
+    """Inverse of :func:`exchange_expert_buffers` (the second all-to-all)."""
+    g = len(bufs)
+    eg, c, h = bufs[0].shape
+    el = eg // g
+    out: list[np.ndarray] = []
+    for d in range(g):
+        send = np.empty((el * g, c, h), dtype=bufs[0].dtype)
+        for s in range(g):
+            # what device s holds for my experts: its rows le*g + d... wait,
+            # device s holds rows (le*g + src) keyed by *its* local experts.
+            # The chunk destined back to d is, for each of s's local experts
+            # le, the row le*g + d.
+            send[s * el : (s + 1) * el] = bufs[s][np.arange(el) * g + d]
+        out.append(send)
+    return out

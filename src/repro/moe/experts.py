@@ -1,0 +1,120 @@
+"""Grouped expert feed-forward computation and its exact gradients.
+
+Each device hosts ``El`` experts; after the first all-to-all its buffer
+holds, per local expert, the tokens gathered from every device.  The
+expert FFN is the standard two-matmul GELU block, applied independently
+per expert via batched einsums (no Python loop over tokens).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as in GPT-2)."""
+    c = np.sqrt(2.0 / np.pi).astype(x.dtype) if hasattr(x, "dtype") else np.sqrt(2 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d gelu(x) / dx for the tanh approximation."""
+    c = np.sqrt(2.0 / np.pi)
+    u = c * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    du = c * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * du
+
+
+def _occupied_mask(buf: np.ndarray) -> np.ndarray:
+    """True for capacity slots that hold a real token.
+
+    Empty slots are exactly zero (the dispatch zero-pads); irregular
+    expert kernels skip them entirely (paper Sec. 8: no computation on
+    padding), so their FFN output is defined as zero.  This also makes
+    partitioned execution composable: chunk buffers occupy disjoint slots
+    and can be reconstructed by summation.
+    """
+    return np.any(buf != 0.0, axis=-1, keepdims=True)
+
+
+def expert_ffn(
+    buf: np.ndarray,
+    w1: np.ndarray,
+    b1: np.ndarray,
+    w2: np.ndarray,
+    b2: np.ndarray,
+) -> np.ndarray:
+    """Apply each local expert's FFN to its token group.
+
+    ``buf`` has shape [E, C, H] where the leading axis is local-expert
+    major (``E = El * G``; rows ``le*G .. le*G+G-1`` belong to local
+    expert ``le``).  Weights: w1 [El, H, F], b1 [El, F], w2 [El, F, H],
+    b2 [El, H].  Empty (padded) slots produce zeros -- see
+    :func:`_occupied_mask`.
+    """
+    e, c, h = buf.shape
+    el = w1.shape[0]
+    if e % el != 0:
+        raise ValueError(f"buffer expert dim {e} not divisible by El={el}")
+    mask = _occupied_mask(buf)
+    x = buf.reshape(el, -1, h)  # [El, G*C, H]
+    z = np.einsum("eth,ehf->etf", x, w1) + b1[:, None, :]
+    a = gelu(z)
+    y = np.einsum("etf,efh->eth", a, w2) + b2[:, None, :]
+    return y.reshape(e, c, h) * mask
+
+
+def expert_ffn_backward(
+    dout: np.ndarray,
+    buf: np.ndarray,
+    w1: np.ndarray,
+    b1: np.ndarray,
+    w2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Full backward of :func:`expert_ffn`.
+
+    Returns ``(dbuf, dw1, db1, dw2, db2)``; activations are recomputed
+    from the saved input (standard memory/compute trade).
+    """
+    e, c, h = buf.shape
+    el = w1.shape[0]
+    mask = _occupied_mask(buf).reshape(el, -1, 1)
+    x = buf.reshape(el, -1, h)
+    dy = dout.reshape(el, -1, h) * mask  # padded slots carry no gradient
+    z = np.einsum("eth,ehf->etf", x, w1) + b1[:, None, :]
+    a = gelu(z) * mask
+
+    da = np.einsum("eth,efh->etf", dy, w2)
+    dz = da * gelu_grad(z)
+
+    dw2 = np.einsum("etf,eth->efh", a, dy)
+    db2 = dy.sum(axis=1)
+    dw1 = np.einsum("eth,etf->ehf", x, dz)
+    db1 = dz.sum(axis=1)
+    dx = np.einsum("etf,ehf->eth", dz, w1)
+    return dx.reshape(e, c, h), dw1, db1, dw2, db2
+
+
+def expert_ffn_dx(
+    dout: np.ndarray,
+    buf: np.ndarray,
+    w1: np.ndarray,
+    b1: np.ndarray,
+    w2: np.ndarray,
+) -> np.ndarray:
+    """Activation gradient only (the dX op in the IR)."""
+    dx, _, _, _, _ = expert_ffn_backward(dout, buf, w1, b1, w2)
+    return dx
+
+
+def expert_ffn_dw(
+    dout: np.ndarray,
+    buf: np.ndarray,
+    w1: np.ndarray,
+    b1: np.ndarray,
+    w2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Weight gradients only (the dW op in the IR)."""
+    _, dw1, db1, dw2, db2 = expert_ffn_backward(dout, buf, w1, b1, w2)
+    return dw1, db1, dw2, db2

@@ -1,0 +1,261 @@
+"""A numerically exact, multi-device (simulated SPMD) MoE layer.
+
+This is the standalone MoE substrate: it runs the full gate -> dispatch ->
+all-to-all -> experts -> all-to-all -> combine data path of paper Fig. 1
+with real numpy tensors across ``G`` simulated devices, including exact
+backward.  It is the reference implementation against which the IR
+executor and the partitioned (pipelined) execution are tested for
+mathematical equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .capacity import CapacityState, expert_capacity
+from .dispatch import (
+    combine,
+    combine_dprobs,
+    combine_dx,
+    dispatch,
+    dispatch_dx,
+    exchange_expert_buffers,
+    exchange_expert_buffers_inverse,
+)
+from .experts import expert_ffn, expert_ffn_backward
+from .routing import RoutingInfo, route_tokens
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    m = x.max(axis=axis, keepdims=True)
+    e = np.exp(x - m)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@dataclass
+class MoELayerParams:
+    """Per-device parameters of a distributed MoE layer."""
+
+    wg: np.ndarray  # [H, E] gate weight, replicated
+    w1: list[np.ndarray]  # per device [El, H, F]
+    b1: list[np.ndarray]
+    w2: list[np.ndarray]
+    b2: list[np.ndarray]
+
+    @classmethod
+    def init(
+        cls,
+        num_devices: int,
+        experts_per_device: int,
+        hidden: int,
+        ffn_hidden: int,
+        rng: np.random.Generator,
+        dtype=np.float64,
+    ) -> "MoELayerParams":
+        scale = 1.0 / np.sqrt(hidden)
+        e = num_devices * experts_per_device
+        wg = (rng.standard_normal((hidden, e)) * scale).astype(dtype)
+        w1, b1, w2, b2 = [], [], [], []
+        for _ in range(num_devices):
+            w1.append(
+                (rng.standard_normal((experts_per_device, hidden, ffn_hidden)) * scale).astype(dtype)
+            )
+            b1.append(np.zeros((experts_per_device, ffn_hidden), dtype=dtype))
+            w2.append(
+                (rng.standard_normal((experts_per_device, ffn_hidden, hidden))
+                 * (1.0 / np.sqrt(ffn_hidden))).astype(dtype)
+            )
+            b2.append(np.zeros((experts_per_device, hidden), dtype=dtype))
+        return cls(wg, w1, b1, w2, b2)
+
+
+@dataclass
+class MoEForwardCache:
+    """Saved activations needed for the backward pass."""
+
+    xs_flat: list[np.ndarray]
+    probs: list[np.ndarray]
+    infos: list[RoutingInfo]
+    dispatched: list[np.ndarray]  # post first a2a (expert input)
+    expert_out_returned: list[np.ndarray]  # post second a2a (combine input)
+
+
+class DistributedMoELayer:
+    """MoE layer over ``G`` simulated devices with exact forward/backward.
+
+    Parameters
+    ----------
+    num_devices:
+        Simulated device count ``G``.
+    experts_per_device:
+        ``El``; total experts ``E = G * El``.
+    gate_type:
+        One of the routing algorithms in :mod:`repro.moe.routing`.
+    capacity_factor, top_k:
+        Capacity and top-k routing configuration.
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        experts_per_device: int,
+        hidden: int,
+        ffn_hidden: int,
+        gate_type: str = "switch",
+        capacity_factor: float = 1.25,
+        top_k: int = 1,
+        seed: int = 0,
+        dtype=np.float64,
+    ) -> None:
+        self.g = num_devices
+        self.el = experts_per_device
+        self.e = num_devices * experts_per_device
+        self.hidden = hidden
+        self.ffn_hidden = ffn_hidden
+        self.gate_type = gate_type
+        self.capacity_factor = capacity_factor
+        self.top_k = top_k
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        self.params = MoELayerParams.init(
+            num_devices, experts_per_device, hidden, ffn_hidden, rng, dtype
+        )
+
+    # -- forward ----------------------------------------------------------------
+
+    def capacity_for(self, tokens_per_device: int) -> int:
+        return expert_capacity(
+            tokens_per_device, self.e, self.capacity_factor, self.top_k
+        )
+
+    def gate(
+        self,
+        x_flat: np.ndarray,
+        capacity: int,
+        token_ids: np.ndarray | None = None,
+        capacity_counts: np.ndarray | None = None,
+        seed: int = 0,
+        token_offset: int = 0,
+    ) -> tuple[np.ndarray, RoutingInfo, np.ndarray]:
+        """Gate scores + routing for one device's (chunk of) tokens.
+
+        Returns (probs, routing info, updated capacity counts).
+        """
+        probs = softmax(x_flat @ self.params.wg)
+        info, counts = route_tokens(
+            probs,
+            self.gate_type,
+            capacity,
+            k=self.top_k,
+            token_ids=token_ids,
+            seed=seed,
+            token_offset=token_offset,
+            capacity_counts=capacity_counts,
+        )
+        return probs, info, counts
+
+    def forward(
+        self,
+        xs: list[np.ndarray],
+        token_ids: list[np.ndarray] | None = None,
+        seed: int = 0,
+    ) -> tuple[list[np.ndarray], MoEForwardCache]:
+        """Run the full MoE layer; ``xs[d]`` is device ``d``'s [T, H] input.
+
+        Returns per-device outputs (same shapes) and the backward cache.
+        """
+        if len(xs) != self.g:
+            raise ValueError(f"expected {self.g} device inputs, got {len(xs)}")
+        t = xs[0].shape[0]
+        capacity = self.capacity_for(t)
+
+        probs, infos, bufs = [], [], []
+        for d, x in enumerate(xs):
+            ids = token_ids[d] if token_ids is not None else None
+            pr, info, _ = self.gate(x, capacity, token_ids=ids, seed=seed + d)
+            probs.append(pr)
+            infos.append(info)
+            bufs.append(dispatch(x, info))
+
+        received = exchange_expert_buffers(bufs)  # first all-to-all
+        expert_out = [
+            expert_ffn(
+                received[d],
+                self.params.w1[d],
+                self.params.b1[d],
+                self.params.w2[d],
+                self.params.b2[d],
+            )
+            for d in range(self.g)
+        ]
+        returned = exchange_expert_buffers_inverse(expert_out)  # second a2a
+
+        ys = [
+            combine(returned[d], infos[d], probs[d]) for d in range(self.g)
+        ]
+        cache = MoEForwardCache(
+            xs_flat=list(xs),
+            probs=probs,
+            infos=infos,
+            dispatched=received,
+            expert_out_returned=returned,
+        )
+        return ys, cache
+
+    # -- backward -----------------------------------------------------------------
+
+    def backward(
+        self, dys: list[np.ndarray], cache: MoEForwardCache
+    ) -> tuple[list[np.ndarray], dict]:
+        """Exact backward pass.
+
+        Returns per-device input gradients and a dict of parameter grads:
+        ``{"wg": [G arrays], "w1": [...], "b1": ..., "w2": ..., "b2": ...}``
+        (gate grads are per-device; data parallelism would all-reduce them).
+        """
+        g = self.g
+        dbufs, dprobs_list = [], []
+        for d in range(g):
+            dy = dys[d]
+            dbufs.append(combine_dx(dy, cache.infos[d], cache.probs[d]))
+            dprobs_list.append(
+                combine_dprobs(dy, cache.expert_out_returned[d], cache.infos[d])
+            )
+
+        # backward of the second a2a = forward exchange
+        dexpert_out = exchange_expert_buffers(dbufs)
+
+        dreceived, dw1, db1, dw2, db2 = [], [], [], [], []
+        for d in range(g):
+            dx_e, g1, gb1, g2, gb2 = expert_ffn_backward(
+                dexpert_out[d],
+                cache.dispatched[d],
+                self.params.w1[d],
+                self.params.b1[d],
+                self.params.w2[d],
+            )
+            dreceived.append(dx_e)
+            dw1.append(g1)
+            db1.append(gb1)
+            dw2.append(g2)
+            db2.append(gb2)
+
+        # backward of the first a2a = inverse exchange
+        ddispatch = exchange_expert_buffers_inverse(dreceived)
+
+        dxs, dwg = [], []
+        for d in range(g):
+            dx = dispatch_dx(ddispatch[d], cache.infos[d])
+            # gate gradient: dprobs -> softmax backward -> matmul dW
+            pr = cache.probs[d]
+            dp = dprobs_list[d]
+            dscores = pr * (dp - (dp * pr).sum(axis=-1, keepdims=True))
+            dwg.append(cache.xs_flat[d].T @ dscores)
+            dx = dx + dscores @ self.params.wg.T
+            dxs.append(dx)
+
+        grads = {"wg": dwg, "w1": dw1, "b1": db1, "w2": dw2, "b2": db2}
+        return dxs, grads

@@ -1,0 +1,179 @@
+"""Micro-batched (partitioned) MoE execution -- paper Fig. 5.
+
+Two variants of splitting an MoE layer's input along the batch dimension:
+
+* :func:`forward_microbatched_naive` (Fig. 5b): each micro-batch gets a
+  proportionally scaled capacity ``C/p``.  This changes which tokens are
+  dropped, breaking mathematical equivalence with unpartitioned execution.
+* :func:`forward_microbatched_capacity_passing` (Fig. 5c): Lancet's
+  scheme.  Micro-batches share the *original* capacity ``C`` and thread
+  per-expert used-capacity counts between chunks, so token-to-expert
+  mapping and dropping are bit-identical to the unpartitioned layer, at
+  the cost of irregular per-chunk buffer occupancy (handled by the
+  irregular all-to-all).
+
+These functions simulate the forward pass only (what the partition pass
+pipelines); tests assert the equivalence / non-equivalence claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .capacity import CapacityState
+from .dispatch import (
+    combine,
+    dispatch,
+    exchange_expert_buffers,
+    exchange_expert_buffers_inverse,
+)
+from .experts import expert_ffn
+from .layer import DistributedMoELayer
+from .routing import RoutingInfo
+
+
+@dataclass
+class MicrobatchTrace:
+    """Per-chunk routing outcomes, for inspecting (non-)equivalence."""
+
+    infos: list[list[RoutingInfo]]  # [chunk][device]
+    chunk_counts: list[list[np.ndarray]]  # accepted per expert, per chunk
+    outputs: list[np.ndarray]  # per-device combined outputs
+
+
+def _split_batch(x: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split tokens into ``parts`` contiguous chunks (batch-prefix blocks)."""
+    return [c for c in np.array_split(x, parts, axis=0)]
+
+
+def forward_microbatched_capacity_passing(
+    layer: DistributedMoELayer,
+    xs: list[np.ndarray],
+    parts: int,
+    seed: int = 0,
+) -> MicrobatchTrace:
+    """Partitioned forward with Lancet's capacity-passing gate (Fig. 5c).
+
+    Each chunk is gated with the running per-expert counts of the previous
+    chunks, routed into a *full-capacity* buffer at its globally correct
+    slots, then dispatched through per-chunk (irregular) all-to-alls and
+    expert computation.  The summed combine outputs equal the
+    unpartitioned layer exactly.
+    """
+    g = layer.g
+    t = xs[0].shape[0]
+    capacity = layer.capacity_for(t)
+    if not (1 <= parts <= t):
+        raise ValueError(f"parts={parts} invalid for {t} tokens")
+
+    chunks = [_split_batch(x, parts) for x in xs]  # [device][chunk]
+    offsets = np.cumsum([0] + [chunks[0][p].shape[0] for p in range(parts)])
+
+    states = [CapacityState(layer.e, capacity) for _ in range(g)]
+    outputs = [np.zeros_like(x) for x in xs]
+    infos_per_chunk: list[list[RoutingInfo]] = []
+    counts_per_chunk: list[list[np.ndarray]] = []
+
+    for p in range(parts):
+        chunk_infos, chunk_counts, bufs, probs_list = [], [], [], []
+        for d in range(g):
+            xc = chunks[d][p]
+            probs, info, new_counts = layer.gate(
+                xc,
+                capacity,
+                capacity_counts=states[d].counts,
+                seed=seed + d,
+                token_offset=int(offsets[p]),
+            )
+            used = np.asarray(new_counts) - states[d].counts
+            states[d] = states[d].advanced(new_counts)
+            chunk_infos.append(info)
+            chunk_counts.append(used)
+            probs_list.append(probs)
+            # full-capacity buffer, occupied only at this chunk's slots
+            bufs.append(dispatch(xc, info))
+
+        received = exchange_expert_buffers(bufs)  # irregular a2a #1
+        expert_out = [
+            expert_ffn(
+                received[d],
+                layer.params.w1[d],
+                layer.params.b1[d],
+                layer.params.w2[d],
+                layer.params.b2[d],
+            )
+            for d in range(g)
+        ]
+        returned = exchange_expert_buffers_inverse(expert_out)  # a2a #2
+
+        for d in range(g):
+            yc = combine(returned[d], chunk_infos[d], probs_list[d])
+            outputs[d][offsets[p] : offsets[p + 1]] = yc
+
+        infos_per_chunk.append(chunk_infos)
+        counts_per_chunk.append(chunk_counts)
+
+    return MicrobatchTrace(infos_per_chunk, counts_per_chunk, outputs)
+
+
+def forward_microbatched_naive(
+    layer: DistributedMoELayer,
+    xs: list[np.ndarray],
+    parts: int,
+    seed: int = 0,
+) -> MicrobatchTrace:
+    """Direct micro-batching (Fig. 5b): capacity scales down with the chunk.
+
+    Each chunk gets an independent capacity ``ceil(C / parts)``.  A chunk
+    with more than its share of tokens for some expert drops the excess,
+    even if other chunks leave that expert underfull -- the extra token
+    dropping the paper warns about.
+    """
+    g = layer.g
+    t = xs[0].shape[0]
+    capacity = layer.capacity_for(t)
+    chunk_capacity = max(1, -(-capacity // parts))
+
+    chunks = [_split_batch(x, parts) for x in xs]
+    offsets = np.cumsum([0] + [chunks[0][p].shape[0] for p in range(parts)])
+
+    outputs = [np.zeros_like(x) for x in xs]
+    infos_per_chunk: list[list[RoutingInfo]] = []
+    counts_per_chunk: list[list[np.ndarray]] = []
+
+    for p in range(parts):
+        chunk_infos, chunk_counts, bufs, probs_list = [], [], [], []
+        for d in range(g):
+            xc = chunks[d][p]
+            probs = None
+            probs, info, counts = layer.gate(
+                xc, chunk_capacity, seed=seed + d, token_offset=int(offsets[p])
+            )
+            chunk_infos.append(info)
+            chunk_counts.append(np.asarray(counts))
+            probs_list.append(probs)
+            bufs.append(dispatch(xc, info))
+
+        received = exchange_expert_buffers(bufs)
+        expert_out = [
+            expert_ffn(
+                received[d],
+                layer.params.w1[d],
+                layer.params.b1[d],
+                layer.params.w2[d],
+                layer.params.b2[d],
+            )
+            for d in range(g)
+        ]
+        returned = exchange_expert_buffers_inverse(expert_out)
+
+        for d in range(g):
+            yc = combine(returned[d], chunk_infos[d], probs_list[d])
+            outputs[d][offsets[p] : offsets[p + 1]] = yc
+
+        infos_per_chunk.append(chunk_infos)
+        counts_per_chunk.append(chunk_counts)
+
+    return MicrobatchTrace(infos_per_chunk, counts_per_chunk, outputs)

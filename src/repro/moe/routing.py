@@ -1,0 +1,374 @@
+"""Token-to-expert routing algorithms.
+
+Implements the gating methods discussed in the paper (Sec. 2.1, 2.3):
+
+* ``switch`` -- top-1 routing (Fedus et al., 2022)
+* ``topk``   -- generalized top-k routing (GShard)
+* ``bpr``    -- Batch Prioritized Routing (Riquelme et al., 2021): tokens
+  are sorted by importance score before capacity is assigned, so dropping
+  depends on the *whole batch*
+* ``random`` -- random expert assignment (THOR / stochastic experts)
+* ``hash``   -- hash routing on token ids (Roller et al., 2021)
+* ``expert_choice`` -- experts pick their top-C tokens (Zhou et al., 2022)
+
+All methods enforce a per-expert *capacity* ``C``: at most ``C`` tokens per
+expert (per device); excess tokens are dropped, under-full experts are
+zero-padded (paper Sec. 2.1).
+
+The critical property for Lancet's partition pass: ``switch``, ``topk``,
+``random`` and ``hash`` are **batch-prefix stable** -- routing a prefix of
+the batch, carrying per-expert used-capacity counts forward, gives exactly
+the same assignment as routing the whole batch at once.  This is what the
+paper's capacity-passing gate (Fig. 5c) exploits, implemented here as the
+``capacity_counts`` in/out arguments.  ``bpr`` and ``expert_choice`` are
+*not* prefix stable, which is why the paper only allows partitioning
+*after* the MoE layer for them (Fig. 4c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoutingInfo:
+    """The result of routing a batch of tokens.
+
+    One entry per *accepted* (token, expert) assignment; dropped
+    assignments simply do not appear.
+
+    Attributes
+    ----------
+    num_experts, capacity, k:
+        Routing configuration this result was produced under.
+    token_idx:
+        Flattened token index of each accepted assignment.
+    expert_idx:
+        Target expert of each assignment.
+    slot_idx:
+        Capacity slot within the target expert (unique per expert, < C).
+    num_tokens:
+        Total number of tokens that were routed (before dropping).
+    """
+
+    num_experts: int
+    capacity: int
+    k: int
+    token_idx: np.ndarray
+    expert_idx: np.ndarray
+    slot_idx: np.ndarray
+    num_tokens: int
+
+    def expert_counts(self) -> np.ndarray:
+        """Tokens accepted per expert (length ``num_experts``)."""
+        return np.bincount(self.expert_idx, minlength=self.num_experts)
+
+    def dropped_tokens(self) -> np.ndarray:
+        """Sorted indices of tokens with *no* accepted assignment."""
+        assigned = np.zeros(self.num_tokens, dtype=bool)
+        assigned[self.token_idx] = True
+        return np.nonzero(~assigned)[0]
+
+    def sorted_tuples(self) -> np.ndarray:
+        """Canonical (token, expert, slot) triples for equality testing."""
+        a = np.stack([self.token_idx, self.expert_idx, self.slot_idx], axis=1)
+        order = np.lexsort((a[:, 2], a[:, 1], a[:, 0]))
+        return a[order]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingInfo):
+            return NotImplemented
+        return (
+            self.num_experts == other.num_experts
+            and self.capacity == other.capacity
+            and self.num_tokens == other.num_tokens
+            and np.array_equal(self.sorted_tuples(), other.sorted_tuples())
+        )
+
+
+def topk_choices(probs: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k highest-probability experts per token ([T, k]).
+
+    Choices are ordered by decreasing probability (rank 0 first), ties
+    broken by lower expert index (deterministic).
+    """
+    t, e = probs.shape
+    if k > e:
+        raise ValueError(f"k={k} exceeds number of experts {e}")
+    # argsort on (-prob, index): stable sort on negated probs gives
+    # deterministic tie-breaking by expert index.
+    order = np.argsort(-probs, axis=1, kind="stable")
+    return order[:, :k].astype(np.int64)
+
+
+def _fcfs_assign(
+    token_order: np.ndarray,
+    choice_expert: np.ndarray,
+    num_experts: int,
+    capacity: int,
+    start_counts: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """First-come-first-served capacity assignment.
+
+    Processes assignments in the order given by ``token_order`` (an
+    ordering over the assignment list ``choice_expert``); each assignment
+    claims the next free slot of its expert, and is dropped if the expert
+    is already at capacity.
+
+    Returns ``(kept_positions, expert_idx, slot_idx, new_counts)`` where
+    ``kept_positions`` indexes into the original assignment list.
+    """
+    experts_in_order = choice_expert[token_order]
+    base = np.zeros(num_experts, dtype=np.int64)
+    if start_counts is not None:
+        base = base + np.asarray(start_counts, dtype=np.int64)
+
+    # rank of each assignment within its expert group, respecting order:
+    # stable-sort the ordered experts, rank = position - group start.
+    n = experts_in_order.shape[0]
+    sort_by_expert = np.argsort(experts_in_order, kind="stable")
+    sorted_experts = experts_in_order[sort_by_expert]
+    group_start = np.zeros(n, dtype=np.int64)
+    if n > 0:
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_experts[1:] != sorted_experts[:-1]
+        starts = np.nonzero(new_group)[0]
+        group_start = starts[np.cumsum(new_group) - 1]
+    rank_sorted = np.arange(n) - group_start
+    rank = np.empty(n, dtype=np.int64)
+    rank[sort_by_expert] = rank_sorted
+
+    slots = base[experts_in_order] + rank
+    keep = slots < capacity
+
+    kept_positions = token_order[keep]
+    expert_idx = experts_in_order[keep]
+    slot_idx = slots[keep]
+    new_counts = base + np.bincount(
+        experts_in_order[keep], minlength=num_experts
+    )
+    new_counts = np.minimum(new_counts, capacity)
+    return kept_positions, expert_idx, slot_idx, new_counts
+
+
+def _assignment_list(
+    choices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten [T, k] choices into an assignment list ordered token-major.
+
+    Each token claims capacity for all of its k choices before the next
+    token does.  (GShard orders rank-major -- all first choices before any
+    second choice -- but rank-major assignment is *not* batch-prefix
+    stable for k > 1, so Lancet's capacity-passing partitioned gate
+    requires the token-major order used here.)  Returns (token, expert,
+    order) arrays where ``order`` processes the flat list token-major.
+    """
+    t, k = choices.shape
+    token = np.repeat(np.arange(t), k)
+    expert = choices.reshape(-1)
+    order = np.arange(t * k)
+    return token, expert, order
+
+
+def route_switch(
+    probs: np.ndarray,
+    capacity: int,
+    k: int = 1,
+    capacity_counts: np.ndarray | None = None,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Switch / top-k routing with FCFS capacity in token order.
+
+    Batch-prefix stable: pass ``capacity_counts`` from a previous chunk to
+    continue routing exactly where it left off (paper Fig. 5c).
+    """
+    t, e = probs.shape
+    choices = topk_choices(probs, k)
+    token, expert, order = _assignment_list(choices)
+    kept, expert_idx, slot_idx, counts = _fcfs_assign(
+        order, expert, e, capacity, capacity_counts
+    )
+    info = RoutingInfo(e, capacity, k, token[kept], expert_idx, slot_idx, t)
+    return info, counts
+
+
+def route_bpr(
+    probs: np.ndarray,
+    capacity: int,
+    k: int = 1,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Batch Prioritized Routing: importance-sorted capacity assignment.
+
+    Tokens are sorted by importance (sum of their top-k gating probs,
+    descending) *across the whole batch* before slots are claimed, so
+    low-importance tokens are dropped first.  Not batch-prefix stable.
+    """
+    t, e = probs.shape
+    choices = topk_choices(probs, k)
+    importance = np.take_along_axis(probs, choices, axis=1).sum(axis=1)
+    token_priority = np.argsort(-importance, kind="stable")
+    prio_rank = np.empty(t, dtype=np.int64)
+    prio_rank[token_priority] = np.arange(t)
+
+    token, expert, _ = _assignment_list(choices)
+    # order assignments by (token priority, rank): the most important
+    # token claims all of its k choices first.
+    rank_of = np.tile(np.arange(k), t)
+    keys = prio_rank[token] * k + rank_of
+    order = np.argsort(keys, kind="stable")
+    kept, expert_idx, slot_idx, counts = _fcfs_assign(
+        order, expert, e, capacity, None
+    )
+    info = RoutingInfo(e, capacity, k, token[kept], expert_idx, slot_idx, t)
+    return info, counts
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64-style integer hash (vectorized, deterministic)."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def route_random(
+    probs: np.ndarray,
+    capacity: int,
+    k: int = 1,
+    seed: int = 0,
+    token_offset: int = 0,
+    capacity_counts: np.ndarray | None = None,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Random expert assignment (THOR-style).
+
+    The choice for each token is a counter-based hash of its *global*
+    token index, so routing is batch-prefix stable by construction: a
+    chunk starting at ``token_offset`` draws exactly the choices the full
+    batch would have drawn for those tokens.
+    """
+    t, e = probs.shape
+    base = np.arange(token_offset, token_offset + t, dtype=np.uint64)
+    choices = np.empty((t, k), dtype=np.int64)
+    taken = np.zeros((t, e), dtype=bool)
+    for r in range(k):  # draw without replacement per token
+        h = _mix64(base * np.uint64(k) + np.uint64(r) + _mix64(
+            np.full(t, np.uint64(seed))
+        ))
+        pick = (h % np.uint64(e)).astype(np.int64)
+        if r > 0:  # linear-probe past already-chosen experts
+            for _ in range(e):
+                clash = taken[np.arange(t), pick]
+                if not clash.any():
+                    break
+                pick[clash] = (pick[clash] + 1) % e
+        taken[np.arange(t), pick] = True
+        choices[:, r] = pick
+    token, expert, order = _assignment_list(choices)
+    kept, expert_idx, slot_idx, counts = _fcfs_assign(
+        order, expert, e, capacity, capacity_counts
+    )
+    info = RoutingInfo(e, capacity, k, token[kept], expert_idx, slot_idx, t)
+    return info, counts
+
+
+def route_hash(
+    token_ids: np.ndarray,
+    num_experts: int,
+    capacity: int,
+    capacity_counts: np.ndarray | None = None,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Hash routing: expert = hash(token id) mod E.  Prefix stable."""
+    flat = np.asarray(token_ids).reshape(-1).astype(np.int64)
+    t = flat.shape[0]
+    # Knuth multiplicative hash for a deterministic, well-mixed bucket.
+    expert = ((flat * 2654435761) % (2**32)) % num_experts
+    order = np.arange(t)
+    kept, expert_idx, slot_idx, counts = _fcfs_assign(
+        order, expert, num_experts, capacity, capacity_counts
+    )
+    info = RoutingInfo(
+        num_experts, capacity, 1, order[kept], expert_idx, slot_idx, t
+    )
+    return info, counts
+
+
+def route_expert_choice(
+    probs: np.ndarray,
+    capacity: int,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Expert-choice routing: each expert picks its top-C tokens.
+
+    Needs the full batch's scores (experts compare all tokens), so it is
+    not batch-prefix stable.
+    """
+    t, e = probs.shape
+    c = min(capacity, t)
+    # top-C tokens per expert column
+    order = np.argsort(-probs, axis=0, kind="stable")[:c]  # [c, E]
+    token_idx = order.T.reshape(-1)  # expert-major
+    expert_idx = np.repeat(np.arange(e), c)
+    slot_idx = np.tile(np.arange(c), e)
+    counts = np.full(e, c, dtype=np.int64)
+    info = RoutingInfo(e, capacity, 1, token_idx, expert_idx, slot_idx, t)
+    return info, counts
+
+
+def route_tokens(
+    probs: np.ndarray,
+    gate_type: str,
+    capacity: int,
+    k: int = 1,
+    token_ids: np.ndarray | None = None,
+    seed: int = 0,
+    token_offset: int = 0,
+    capacity_counts: np.ndarray | None = None,
+) -> tuple[RoutingInfo, np.ndarray]:
+    """Dispatch to the routing algorithm named ``gate_type``.
+
+    Parameters
+    ----------
+    probs:
+        Gate probabilities, shape [tokens, experts].
+    seed / token_offset:
+        Stream parameters for stochastic gates; ``token_offset`` is the
+        global index of the first token (so batch chunks reproduce the
+        full batch's random choices).
+    capacity_counts:
+        Per-expert used capacity carried from a previous batch chunk (the
+        capacity-passing partitioned gate); only legal for prefix-stable
+        gates.
+
+    Returns
+    -------
+    (routing info, updated per-expert counts)
+    """
+    if gate_type == "switch":
+        return route_switch(probs, capacity, k=1, capacity_counts=capacity_counts)
+    if gate_type == "topk":
+        return route_switch(probs, capacity, k=k, capacity_counts=capacity_counts)
+    if gate_type == "bpr":
+        if capacity_counts is not None:
+            raise ValueError("BPR gating is not batch-prefix stable")
+        return route_bpr(probs, capacity, k=k)
+    if gate_type == "random":
+        return route_random(
+            probs,
+            capacity,
+            k=k,
+            seed=seed,
+            token_offset=token_offset,
+            capacity_counts=capacity_counts,
+        )
+    if gate_type == "hash":
+        if token_ids is None:
+            raise ValueError("hash gating requires token_ids")
+        return route_hash(
+            token_ids, probs.shape[1], capacity, capacity_counts=capacity_counts
+        )
+    if gate_type == "expert_choice":
+        if capacity_counts is not None:
+            raise ValueError("expert-choice gating is not batch-prefix stable")
+        return route_expert_choice(probs, capacity)
+    raise ValueError(f"unknown gate type {gate_type!r}")

@@ -1,0 +1,6 @@
+"""Numpy kernels implementing every IR op (forward and backward)."""
+
+from . import grads as _grads  # noqa: F401  (registers backward kernels)
+from .kernels import FORWARD_KERNELS, attention_forward, kernel
+
+__all__ = ["FORWARD_KERNELS", "attention_forward", "kernel"]

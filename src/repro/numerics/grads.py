@@ -1,0 +1,176 @@
+"""Backward numpy kernels for the IR gradient ops.
+
+Registered in the same table as the forward kernels so the interpreter
+treats forward and backward uniformly.  Every kernel is the exact
+mathematical adjoint of its forward counterpart in
+:mod:`repro.numerics.kernels` (verified against finite differences and the
+standalone MoE layer in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..moe.dispatch import combine_dprobs as moe_combine_dprobs_fn
+from ..moe.dispatch import combine_dx as moe_combine_dx_fn
+from ..moe.dispatch import dispatch_dx as moe_dispatch_dx_fn
+from ..moe.experts import expert_ffn_dw as moe_expert_ffn_dw
+from ..moe.experts import expert_ffn_dx as moe_expert_ffn_dx
+from ..moe.experts import gelu_grad
+from ..moe.layer import softmax as softmax_fn
+from .kernels import FORWARD_KERNELS, LN_EPS, _attention_heads, _attention_merge, kernel
+
+
+@kernel("matmul_dx")
+def _k_matmul_dx(ins, attrs):
+    dy, w = ins
+    return [dy @ w.T]
+
+
+@kernel("matmul_dw")
+def _k_matmul_dw(ins, attrs):
+    x, dy = ins
+    x2 = x.reshape(-1, x.shape[-1])
+    dy2 = dy.reshape(-1, dy.shape[-1])
+    return [x2.T @ dy2]
+
+
+@kernel("bias_grad")
+def _k_bias_grad(ins, attrs):
+    dy = ins[0]
+    return [dy.reshape(-1, dy.shape[-1]).sum(axis=0)]
+
+
+@kernel("gelu_dx")
+def _k_gelu_dx(ins, attrs):
+    dy, x = ins
+    return [dy * gelu_grad(x)]
+
+
+@kernel("relu_dx")
+def _k_relu_dx(ins, attrs):
+    dy, x = ins
+    return [dy * (x > 0)]
+
+
+@kernel("softmax_dx")
+def _k_softmax_dx(ins, attrs):
+    dy, y = ins
+    return [y * (dy - (dy * y).sum(axis=-1, keepdims=True))]
+
+
+@kernel("layernorm_dx")
+def _k_layernorm_dx(ins, attrs):
+    dy, x, gamma = ins
+    h = x.shape[-1]
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    rstd = 1.0 / np.sqrt(var + LN_EPS)
+    xhat = (x - mu) * rstd
+    dxhat = dy * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * rstd
+    return [dx]
+
+
+@kernel("layernorm_dw")
+def _k_layernorm_dw(ins, attrs):
+    dy, x = ins
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mu) / np.sqrt(var + LN_EPS)
+    lead = (-1, x.shape[-1])
+    dgamma = (dy * xhat).reshape(lead).sum(axis=0)
+    dbeta = dy.reshape(lead).sum(axis=0)
+    return [dgamma, dbeta]
+
+
+@kernel("attention_dx")
+def _k_attention_dx(ins, attrs):
+    dy, q, k, v = ins
+    heads = attrs["num_heads"]
+    causal = attrs.get("causal", True)
+    qh = _attention_heads(q, heads)
+    kh = _attention_heads(k, heads)
+    vh = _attention_heads(v, heads)
+    d = qh.shape[-1]
+    scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(d)
+    if causal:
+        s = scores.shape[-1]
+        mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+    probs = softmax_fn(scores, axis=-1)
+
+    dyh = _attention_heads(dy, heads)
+    dvh = probs.transpose(0, 1, 3, 2) @ dyh
+    dprobs = dyh @ vh.transpose(0, 1, 3, 2)
+    dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
+    dscores = dscores / np.sqrt(d)
+    dqh = dscores @ kh
+    dkh = dscores.transpose(0, 1, 3, 2) @ qh
+    return [_attention_merge(dqh), _attention_merge(dkh), _attention_merge(dvh)]
+
+
+@kernel("embedding_dw")
+def _k_embedding_dw(ins, attrs):
+    dy, ids = ins
+    vocab = attrs["vocab_size"]
+    h = dy.shape[-1]
+    dtable = np.zeros((vocab, h), dtype=dy.dtype)
+    np.add.at(dtable, ids.reshape(-1).astype(np.int64), dy.reshape(-1, h))
+    return [dtable]
+
+
+@kernel("pos_embedding_dw")
+def _k_pos_embedding_dw(ins, attrs):
+    dy = ins[0]
+    return [dy.sum(axis=0)]
+
+
+@kernel("cross_entropy_dx")
+def _k_cross_entropy_dx(ins, attrs):
+    logits, labels = ins
+    t = labels.size
+    flat = logits.reshape(t, -1)
+    lab = labels.reshape(-1).astype(np.int64)
+    p = softmax_fn(flat, axis=-1)
+    p[np.arange(t), lab] -= 1.0
+    return [(p / t).reshape(logits.shape)]
+
+
+@kernel("moe_dispatch_dx")
+def _k_moe_dispatch_dx(ins, attrs):
+    dbuf, info = ins
+    dx = moe_dispatch_dx_fn(dbuf, info)
+    return [dx.reshape(attrs["batch"], attrs["seq"], attrs["hidden"])]
+
+
+@kernel("moe_combine_dx")
+def _k_moe_combine_dx(ins, attrs):
+    dy, info, probs = ins
+    flat_dy = dy.reshape(-1, dy.shape[-1])
+    flat_probs = probs.reshape(-1, probs.shape[-1])
+    return [moe_combine_dx_fn(flat_dy, info, flat_probs)]
+
+
+@kernel("moe_combine_dprobs")
+def _k_moe_combine_dprobs(ins, attrs):
+    dy, buf, info = ins
+    flat_dy = dy.reshape(-1, dy.shape[-1])
+    dprobs = moe_combine_dprobs_fn(flat_dy, buf, info)
+    return [dprobs.reshape(attrs["batch"], attrs["seq"], attrs["num_experts"])]
+
+
+@kernel("expert_ffn_dx")
+def _k_expert_ffn_dx(ins, attrs):
+    dout, buf, w1, b1, w2 = ins
+    return [moe_expert_ffn_dx(dout, buf, w1, b1, w2)]
+
+
+@kernel("expert_ffn_dw")
+def _k_expert_ffn_dw(ins, attrs):
+    dout, buf, w1, b1, w2 = ins
+    return list(moe_expert_ffn_dw(dout, buf, w1, b1, w2))

@@ -1,0 +1,283 @@
+"""Forward numpy kernels for every IR compute op.
+
+Each kernel has the signature ``fn(inputs: list[np.ndarray], attrs: dict)
+-> list[np.ndarray]`` and is registered under the IR op name.  The MoE ops
+delegate to :mod:`repro.moe`, so the interpreter and the standalone MoE
+layer share one implementation.
+
+Kernels run in float64 regardless of the IR dtype: the IR dtype drives the
+*timing* model, while numeric execution exists to verify mathematical
+equivalence of graph transformations, which wants exactness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..moe.dispatch import combine as moe_combine_fn
+from ..moe.dispatch import dispatch as moe_dispatch_fn
+from ..moe.experts import expert_ffn as moe_expert_ffn
+from ..moe.experts import gelu as gelu_fn
+from ..moe.layer import softmax as softmax_fn
+from ..moe.routing import route_tokens
+
+KernelFn = object  # Callable[[list[np.ndarray], dict], list]
+
+FORWARD_KERNELS: dict[str, KernelFn] = {}
+
+
+def kernel(op: str):
+    """Decorator registering a forward kernel for ``op``."""
+
+    def deco(fn):
+        FORWARD_KERNELS[op] = fn
+        return fn
+
+    return deco
+
+
+@kernel("matmul")
+def _k_matmul(ins, attrs):
+    x, w = ins
+    return [x @ w]
+
+
+@kernel("bias_add")
+def _k_bias_add(ins, attrs):
+    x, b = ins
+    return [x + b]
+
+
+@kernel("add")
+def _k_add(ins, attrs):
+    return [ins[0] + ins[1]]
+
+
+@kernel("scale")
+def _k_scale(ins, attrs):
+    return [ins[0] * attrs.get("alpha", 1.0)]
+
+
+@kernel("gelu")
+def _k_gelu(ins, attrs):
+    return [gelu_fn(ins[0])]
+
+
+@kernel("relu")
+def _k_relu(ins, attrs):
+    return [np.maximum(ins[0], 0.0)]
+
+
+@kernel("softmax")
+def _k_softmax(ins, attrs):
+    return [softmax_fn(ins[0], axis=-1)]
+
+
+LN_EPS = 1e-5
+
+
+@kernel("layernorm")
+def _k_layernorm(ins, attrs):
+    x, gamma, beta = ins
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mu) / np.sqrt(var + LN_EPS)
+    return [xhat * gamma + beta]
+
+
+@kernel("split3")
+def _k_split3(ins, attrs):
+    return list(np.split(ins[0], 3, axis=-1))
+
+
+@kernel("concat")
+def _k_concat(ins, attrs):
+    return [np.concatenate(ins, axis=attrs["axis"])]
+
+
+@kernel("split_chunk")
+def _k_split_chunk(ins, attrs):
+    chunks = np.array_split(ins[0], attrs["parts"], axis=attrs["axis"])
+    return [chunks[attrs["index"]]]
+
+
+@kernel("accumulate")
+def _k_accumulate(ins, attrs):
+    out = ins[0]
+    for x in ins[1:]:
+        out = out + x
+    return [out]
+
+
+@kernel("embedding")
+def _k_embedding(ins, attrs):
+    table, ids = ins
+    return [table[ids.astype(np.int64)]]
+
+
+@kernel("pos_embedding")
+def _k_pos_embedding(ins, attrs):
+    x, pe = ins
+    return [x + pe[None]]
+
+
+def _attention_heads(x: np.ndarray, heads: int) -> np.ndarray:
+    b, s, h = x.shape
+    return x.reshape(b, s, heads, h // heads).transpose(0, 2, 1, 3)
+
+
+def _attention_merge(x: np.ndarray) -> np.ndarray:
+    b, a, s, d = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, s, a * d)
+
+
+def attention_forward(q, k, v, num_heads: int, causal: bool = True):
+    """Multi-head scaled-dot-product attention; returns (out, probs, qh, kh, vh)."""
+    qh = _attention_heads(q, num_heads)
+    kh = _attention_heads(k, num_heads)
+    vh = _attention_heads(v, num_heads)
+    d = qh.shape[-1]
+    scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(d)
+    if causal:
+        s = scores.shape[-1]
+        mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+    probs = softmax_fn(scores, axis=-1)
+    out = _attention_merge(probs @ vh)
+    return out, probs, qh, kh, vh
+
+
+@kernel("attention")
+def _k_attention(ins, attrs):
+    q, k, v = ins
+    out, *_ = attention_forward(
+        q, k, v, attrs["num_heads"], attrs.get("causal", True)
+    )
+    return [out]
+
+
+@kernel("cross_entropy")
+def _k_cross_entropy(ins, attrs):
+    logits, labels = ins
+    t = labels.size
+    flat = logits.reshape(t, -1)
+    lab = labels.reshape(-1).astype(np.int64)
+    m = flat.max(axis=-1, keepdims=True)
+    lse = m.squeeze(-1) + np.log(np.exp(flat - m).sum(axis=-1))
+    nll = lse - flat[np.arange(t), lab]
+    return [np.asarray(nll.mean())]
+
+
+# ---------------------------------------------------------------------------
+# MoE ops
+# ---------------------------------------------------------------------------
+
+
+@kernel("routing")
+def _k_routing(ins, attrs):
+    probs = ins[0]
+    flat = probs.reshape(-1, probs.shape[-1])
+    info, _ = route_tokens(
+        flat,
+        attrs["gate_type"],
+        attrs["capacity"],
+        k=attrs.get("k", 1),
+        seed=attrs.get("seed", 0),
+        token_offset=attrs.get("token_offset", 0),
+    )
+    return [info]
+
+
+@kernel("capacity_init")
+def _k_capacity_init(ins, attrs):
+    return [np.zeros(attrs["num_experts"], dtype=np.int64)]
+
+
+@kernel("routing_partial")
+def _k_routing_partial(ins, attrs):
+    probs, counts = ins
+    flat = probs.reshape(-1, probs.shape[-1])
+    info, new_counts = route_tokens(
+        flat,
+        attrs["gate_type"],
+        attrs["capacity"],
+        k=attrs.get("k", 1),
+        seed=attrs.get("seed", 0),
+        token_offset=attrs.get("token_offset", 0),
+        capacity_counts=counts,
+    )
+    return [info, new_counts]
+
+
+@kernel("route_slice")
+def _k_route_slice(ins, attrs):
+    from ..moe.routing import RoutingInfo
+
+    info = ins[0]
+    lo, hi = attrs["start"], attrs["stop"]
+    keep = (info.token_idx >= lo) & (info.token_idx < hi)
+    return [
+        RoutingInfo(
+            num_experts=info.num_experts,
+            capacity=info.capacity,
+            k=info.k,
+            token_idx=info.token_idx[keep] - lo,
+            expert_idx=info.expert_idx[keep],
+            slot_idx=info.slot_idx[keep],
+            num_tokens=hi - lo,
+        )
+    ]
+
+
+@kernel("route_concat")
+def _k_route_concat(ins, attrs):
+    from ..moe.routing import RoutingInfo
+
+    first = ins[0]
+    toks, exps, slots = [], [], []
+    offset = 0
+    for info in ins:
+        toks.append(info.token_idx + offset)
+        exps.append(info.expert_idx)
+        slots.append(info.slot_idx)
+        offset += info.num_tokens
+    return [
+        RoutingInfo(
+            num_experts=first.num_experts,
+            capacity=first.capacity,
+            k=first.k,
+            token_idx=np.concatenate(toks),
+            expert_idx=np.concatenate(exps),
+            slot_idx=np.concatenate(slots),
+            num_tokens=offset,
+        )
+    ]
+
+
+@kernel("moe_dispatch")
+def _k_moe_dispatch(ins, attrs):
+    x, info = ins
+    flat = x.reshape(-1, x.shape[-1])
+    return [moe_dispatch_fn(flat, info)]
+
+
+@kernel("moe_combine")
+def _k_moe_combine(ins, attrs):
+    buf, info, probs = ins
+    flat_probs = probs.reshape(-1, probs.shape[-1])
+    y = moe_combine_fn(buf, info, flat_probs)
+    return [y.reshape(probs.shape[:-1] + (buf.shape[-1],))]
+
+
+@kernel("expert_ffn")
+def _k_expert_ffn(ins, attrs):
+    buf, w1, b1, w2, b2 = ins
+    return [moe_expert_ffn(buf, w1, b1, w2, b2)]
+
+
+@kernel("sgd_update")
+def _k_sgd_update(ins, attrs):
+    w, g, m = ins
+    m2 = attrs["momentum"] * m + g
+    w2 = w - attrs["lr"] * m2
+    return [w2, m2]

@@ -1,0 +1,71 @@
+"""Simulated distributed runtime: devices, network, collectives, executors.
+
+Substitutes for the paper's multi-GPU clusters (see DESIGN.md): an
+analytic GPU/network performance model drives a discrete-event timed
+simulation, while a numpy interpreter provides numerically exact
+execution for equivalence testing.
+"""
+
+from .cluster import ClusterSpec
+from .collectives import all_to_all_dense, all_to_all_irregular, allreduce_sum
+from .device import (
+    A100,
+    COMPILED,
+    DEEPSPEED,
+    FRAMEWORK_PROFILES,
+    TUTEL,
+    V100,
+    FrameworkProfile,
+    GPUSpec,
+)
+from .executor import DeviceEnv, NumericExecutor, run_program
+from .routing_model import SyntheticRoutingModel, UniformRoutingModel
+from .simulate import (
+    DISPATCH_OPS,
+    GroundTruthCost,
+    SimulationConfig,
+    iteration_time_ms,
+    simulate_program,
+)
+from .timeline import (
+    Breakdown,
+    Interval,
+    Timeline,
+    intersect_length,
+    merge_intervals,
+    total_length,
+)
+from .visualize import overlap_summary, render_timeline
+
+__all__ = [
+    "A100",
+    "Breakdown",
+    "COMPILED",
+    "ClusterSpec",
+    "DEEPSPEED",
+    "DISPATCH_OPS",
+    "DeviceEnv",
+    "FRAMEWORK_PROFILES",
+    "FrameworkProfile",
+    "GPUSpec",
+    "GroundTruthCost",
+    "Interval",
+    "NumericExecutor",
+    "SimulationConfig",
+    "SyntheticRoutingModel",
+    "TUTEL",
+    "Timeline",
+    "UniformRoutingModel",
+    "V100",
+    "all_to_all_dense",
+    "all_to_all_irregular",
+    "allreduce_sum",
+    "intersect_length",
+    "iteration_time_ms",
+    "merge_intervals",
+    "overlap_summary",
+    "render_timeline",
+    "run_program",
+    "simulate_program",
+    "total_length",
+]

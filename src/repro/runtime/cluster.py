@@ -1,0 +1,183 @@
+"""Cluster topology and the hierarchical alpha-beta network model.
+
+Substitute for the paper's EC2 clusters (Sec. 7): 8-node p4de (8x A100,
+4x100 Gbps NICs per node, NVLink intra-node) and p3dn (8x V100, one
+100 Gbps NIC per node).  All-to-all cost is dominated by the slower of the
+intra-node (NVLink) and inter-node (NIC, shared by all GPUs of a node)
+byte streams, plus a per-collective latency term -- a standard
+hierarchical alpha-beta model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import A100, V100, GPUSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Attributes
+    ----------
+    gpu:
+        Per-device performance model.
+    num_nodes / gpus_per_node:
+        Topology; total devices = product.
+    intra_bw_gbps:
+        Effective per-GPU NVLink bandwidth (GB/s) for intra-node traffic.
+    node_nic_gbps:
+        Aggregate NIC bandwidth per *node* (GB/s), shared by its GPUs.
+    alpha_intra_us / alpha_inter_us:
+        Latency floor of one collective step within / across nodes.
+    """
+
+    name: str
+    gpu: GPUSpec
+    num_nodes: int
+    gpus_per_node: int = 8
+    intra_bw_gbps: float = 200.0
+    node_nic_gbps: float = 50.0
+    alpha_intra_us: float = 8.0
+    alpha_inter_us: float = 20.0
+
+    @property
+    def num_gpus(self) -> int:
+        """Total device count."""
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def nic_per_gpu_gbps(self) -> float:
+        """Inter-node bandwidth available to one GPU (NICs are shared)."""
+        return self.node_nic_gbps / self.gpus_per_node
+
+    @property
+    def multi_node(self) -> bool:
+        return self.num_nodes > 1
+
+    def alpha_ms(self) -> float:
+        """Latency floor of one collective involving all devices."""
+        a = self.alpha_inter_us if self.multi_node else self.alpha_intra_us
+        return a * 1e-3
+
+    # -- collective cost models ------------------------------------------------
+
+    def a2a_time_ms(self, send_bytes_per_gpu: float) -> float:
+        """Uniform all-to-all: every GPU sends ``send_bytes_per_gpu`` total,
+        spread evenly over all peers.
+
+        The transfer splits into an intra-node share over NVLink and an
+        inter-node share over the (shared) NICs; they proceed concurrently
+        and the collective finishes with the slower stream.
+        """
+        g = self.num_gpus
+        if g <= 1 or send_bytes_per_gpu <= 0:
+            return self.alpha_intra_us * 1e-3
+        frac_intra = (self.gpus_per_node - 1) / g if self.multi_node else (g - 1) / g
+        frac_inter = (g - self.gpus_per_node) / g if self.multi_node else 0.0
+        t_intra = (send_bytes_per_gpu * frac_intra) / (self.intra_bw_gbps * 1e9)
+        t_inter = (send_bytes_per_gpu * frac_inter) / (self.nic_per_gpu_gbps * 1e9)
+        return self.alpha_ms() + max(t_intra, t_inter) * 1e3
+
+    def a2a_time_ms_irregular(self, pair_bytes: np.ndarray) -> float:
+        """Irregular all-to-all (all-to-allv): ``pair_bytes[s, d]`` bytes
+        flow from GPU ``s`` to GPU ``d``.
+
+        Completion is bounded by the most-loaded GPU's send or receive
+        stream on each network level.  An extra latency term accounts for
+        the first (size-exchange) phase of the two-phase protocol
+        (paper Fig. 10).
+        """
+        pair = np.asarray(pair_bytes, dtype=np.float64)
+        g = self.num_gpus
+        if pair.shape != (g, g):
+            raise ValueError(f"pair_bytes must be [{g},{g}], got {pair.shape}")
+        node_of = np.arange(g) // self.gpus_per_node
+        same_node = node_of[:, None] == node_of[None, :]
+        off_diag = ~np.eye(g, dtype=bool)
+
+        intra = np.where(same_node & off_diag, pair, 0.0)
+        inter = np.where(~same_node, pair, 0.0)
+
+        # busiest send / receive streams per level
+        intra_load = max(
+            intra.sum(axis=1).max(initial=0.0), intra.sum(axis=0).max(initial=0.0)
+        )
+        inter_load = max(
+            inter.sum(axis=1).max(initial=0.0), inter.sum(axis=0).max(initial=0.0)
+        )
+        t_intra = intra_load / (self.intra_bw_gbps * 1e9)
+        t_inter = inter_load / (self.nic_per_gpu_gbps * 1e9)
+        size_exchange = self.alpha_ms()  # phase 1: exchange chunk sizes
+        return size_exchange + self.alpha_ms() + max(t_intra, t_inter) * 1e3
+
+    def allreduce_time_ms(self, nbytes: float) -> float:
+        """Hierarchical all-reduce (NCCL-style).
+
+        Intra-node reduce-scatter, inter-node ring all-reduce of the
+        node-local partial sums over the aggregate node NICs, intra-node
+        all-gather.  Unlike all-to-all, each byte crosses the node
+        boundary only ~once per node, which is why gradient sync is far
+        cheaper than MoE all-to-all on the same fabric.
+        """
+        g = self.num_gpus
+        if g <= 1 or nbytes <= 0:
+            return 0.0
+        gl = self.gpus_per_node if self.multi_node else g
+        t_intra = 2.0 * nbytes * (gl - 1) / gl / (self.intra_bw_gbps * 1e9)
+        t_inter = 0.0
+        if self.multi_node:
+            n = self.num_nodes
+            t_inter = 2.0 * nbytes * (n - 1) / n / (self.node_nic_gbps * 1e9)
+        return 2 * self.alpha_ms() + (t_intra + t_inter) * 1e3
+
+    # -- presets ----------------------------------------------------------------
+
+    @classmethod
+    def p4de(cls, num_nodes: int) -> "ClusterSpec":
+        """Amazon EC2 p4de.24xlarge: 8x A100-80GB, 4x100 Gbps EFA NICs."""
+        return cls(
+            name=f"p4de-{num_nodes}n",
+            gpu=A100,
+            num_nodes=num_nodes,
+            gpus_per_node=8,
+            intra_bw_gbps=220.0,
+            node_nic_gbps=50.0,  # 4 x 100 Gbps = 50 GB/s aggregate
+            alpha_intra_us=8.0,
+            alpha_inter_us=22.0,
+        )
+
+    @classmethod
+    def p3dn(cls, num_nodes: int) -> "ClusterSpec":
+        """Amazon EC2 p3dn.24xlarge: 8x V100-32GB, one 100 Gbps NIC."""
+        return cls(
+            name=f"p3dn-{num_nodes}n",
+            gpu=V100,
+            num_nodes=num_nodes,
+            gpus_per_node=8,
+            intra_bw_gbps=110.0,
+            node_nic_gbps=12.5,  # 100 Gbps = 12.5 GB/s
+            alpha_intra_us=10.0,
+            alpha_inter_us=28.0,
+        )
+
+    @classmethod
+    def for_gpus(cls, kind: str, num_gpus: int) -> "ClusterSpec":
+        """Cluster of ``num_gpus`` devices of the given kind (a100/v100)."""
+        if num_gpus % 8 != 0 and num_gpus > 8:
+            raise ValueError("multi-node clusters must use full 8-GPU nodes")
+        nodes = max(1, math.ceil(num_gpus / 8))
+        kind = kind.lower()
+        if kind in ("a100", "p4de"):
+            spec = cls.p4de(nodes)
+        elif kind in ("v100", "p3dn"):
+            spec = cls.p3dn(nodes)
+        else:
+            raise ValueError(f"unknown cluster kind {kind!r}")
+        if num_gpus < 8:
+            object.__setattr__(spec, "gpus_per_node", num_gpus)
+        return spec

@@ -1,0 +1,105 @@
+"""Functional collectives over simulated devices.
+
+The numeric stand-in for NCCL: dense and irregular (two-phase, paper
+Fig. 10) all-to-all over per-device expert buffers, and ring all-reduce.
+The irregular variant moves only the realized token rows and reports the
+per-pair byte matrix (what the network model charges for); with
+zero-padded buffers its result is bit-identical to the dense exchange --
+asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..moe.dispatch import (
+    exchange_expert_buffers,
+    exchange_expert_buffers_inverse,
+)
+
+
+def all_to_all_dense(bufs: list[np.ndarray], direction: str) -> list[np.ndarray]:
+    """Dense all-to-all moving full [E, C, H] buffers.
+
+    ``direction='scatter'`` routes dispatch buffers to expert owners
+    (first all-to-all); ``'gather'`` is its inverse (second all-to-all).
+    """
+    if direction == "scatter":
+        return exchange_expert_buffers(bufs)
+    if direction == "gather":
+        return exchange_expert_buffers_inverse(bufs)
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def _pair_bytes(counts: np.ndarray, el: int, row_bytes: int, direction: str) -> np.ndarray:
+    """Bytes moved between device pairs given per-(src, expert) counts."""
+    g = counts.shape[0]
+    per_owner = counts.reshape(g, g, el).sum(axis=2).astype(np.float64)
+    pair = per_owner * row_bytes
+    if direction == "gather":
+        pair = pair.T.copy()
+    return pair
+
+
+def all_to_all_irregular(
+    bufs: list[np.ndarray],
+    counts: np.ndarray,
+    direction: str,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Two-phase irregular all-to-all (all-to-allv).
+
+    Phase 1 exchanges the chunk sizes (``counts[src, e]`` = tokens device
+    ``src`` routed to expert ``e``); phase 2 moves only those rows.
+    Unused capacity slots of the output are zero, so with zero-padded
+    inputs the result equals :func:`all_to_all_dense`.
+
+    Returns (received buffers, pair-bytes matrix for the network model).
+    """
+    g = len(bufs)
+    e, c, h = bufs[0].shape
+    el = e // g
+    counts = np.asarray(counts)
+    if counts.shape != (g, e):
+        raise ValueError(f"counts must be [{g},{e}], got {counts.shape}")
+    if counts.max(initial=0) > c:
+        raise ValueError("counts exceed capacity")
+    row_bytes = h * bufs[0].dtype.itemsize
+
+    out: list[np.ndarray] = []
+    if direction == "scatter":
+        # recv[d][le*g + s, :n] = bufs[s][d*el + le, :n],  n = counts[s, d*el+le]
+        for d in range(g):
+            recv = np.zeros((el * g, c, h), dtype=bufs[0].dtype)
+            for s in range(g):
+                for le in range(el):
+                    n = int(counts[s, d * el + le])
+                    recv[le * g + s, :n] = bufs[s][d * el + le, :n]
+            out.append(recv)
+    elif direction == "gather":
+        # inverse: out[d][s*el + le, :n] = bufs[s][le*g + d, :n]
+        for d in range(g):
+            send = np.zeros((el * g, c, h), dtype=bufs[0].dtype)
+            for s in range(g):
+                for le in range(el):
+                    n = int(counts[d, s * el + le])
+                    send[s * el + le, :n] = bufs[s][le * g + d, :n]
+            out.append(send)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+
+    return out, _pair_bytes(counts, el, row_bytes, direction)
+
+
+def allreduce_sum(arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """All-reduce (sum): every device receives the elementwise sum."""
+    total = arrays[0].copy()
+    for a in arrays[1:]:
+        total += a
+    return [total.copy() for _ in arrays]
+
+
+def allreduce_mean(arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """All-reduce (mean): data-parallel gradient averaging."""
+    out = allreduce_sum(arrays)
+    g = len(arrays)
+    return [a / g for a in out]

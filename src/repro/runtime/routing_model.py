@@ -1,0 +1,139 @@
+"""Synthetic routing-load realization for timed simulation.
+
+The duration of an *irregular* all-to-all depends on how many tokens each
+device actually routed to each expert -- known only at runtime (paper
+Sec. 3 / Fig. 10).  On real hardware this comes from the gate; in the
+timed simulator we draw it from a controllable load model: expert
+popularity follows a Dirichlet distribution whose concentration sets the
+imbalance (large = balanced experts, small = hot experts).
+
+Draws are cached per (layer) key so the forward and backward all-to-alls
+of the same MoE layer -- and all chunks of a partitioned all-to-all -- see
+a consistent realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SyntheticRoutingModel:
+    """Samples realized per-(device, expert) token counts.
+
+    Attributes
+    ----------
+    seed:
+        Base RNG seed (each key derives an independent stream).
+    concentration:
+        Dirichlet concentration of expert popularity.  ~16 gives the mild
+        imbalance typical of gates trained with a load-balancing loss;
+        1 gives heavy skew (hot experts).
+    """
+
+    seed: int = 0
+    concentration: float = 16.0
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def counts_for(
+        self,
+        key: object,
+        num_devices: int,
+        num_experts: int,
+        tokens_per_device: int,
+        capacity: int,
+        fraction: float = 1.0,
+    ) -> np.ndarray:
+        """Realized token counts [num_devices, num_experts], capped at C.
+
+        ``fraction`` scales the token pool (a pipeline chunk carrying
+        ``1/k`` of the batch asks with ``fraction = 1/k``); all chunks of
+        the same ``key`` share one popularity draw, so their counts are
+        consistent fractions of the same routing outcome.
+        """
+        cache_key = (key, num_devices, num_experts)
+        pop = self._cache.get(cache_key)
+        if pop is None:
+            rng = np.random.default_rng(
+                (hash(cache_key) & 0x7FFFFFFF) ^ self.seed
+            )
+            alpha = np.full(num_experts, self.concentration)
+            # each device draws its own popularity (token mixes differ)
+            pop = rng.dirichlet(alpha, size=num_devices)
+            self._cache[cache_key] = pop
+        tokens = tokens_per_device * fraction
+        counts = np.minimum(np.round(pop * tokens), capacity * fraction)
+        return np.ceil(counts).astype(np.int64)
+
+    def pair_bytes_for(
+        self,
+        key: object,
+        num_devices: int,
+        num_experts: int,
+        tokens_per_device: int,
+        capacity: int,
+        bytes_per_token: int,
+        fraction: float = 1.0,
+    ) -> np.ndarray:
+        """Bytes flowing between each device pair in an irregular A2A.
+
+        Expert ``e`` lives on device ``e // (E / G)``; the (s, d) entry
+        sums the realized counts of all of d's experts as seen by s.
+        """
+        counts = self.counts_for(
+            key, num_devices, num_experts, tokens_per_device, capacity, fraction
+        )
+        el = num_experts // num_devices
+        # sum expert columns by owner device
+        per_owner = counts.reshape(num_devices, num_devices, el).sum(axis=2)
+        return per_owner.astype(np.float64) * float(bytes_per_token)
+
+    def clear(self) -> None:
+        """Drop all cached draws (new iteration / new experiment)."""
+        self._cache.clear()
+
+
+@dataclass
+class UniformRoutingModel:
+    """Perfectly balanced routing: every expert receives the same load.
+
+    Useful as the 'expected' realization the cost model assumes, and for
+    tests that need deterministic collective sizes.
+    """
+
+    fill: float = 1.0  # fraction of capacity actually used
+
+    def counts_for(
+        self,
+        key: object,
+        num_devices: int,
+        num_experts: int,
+        tokens_per_device: int,
+        capacity: int,
+        fraction: float = 1.0,
+    ) -> np.ndarray:
+        per = min(tokens_per_device * fraction / num_experts, capacity * fraction)
+        per = int(np.ceil(per * self.fill))
+        return np.full((num_devices, num_experts), per, dtype=np.int64)
+
+    def pair_bytes_for(
+        self,
+        key: object,
+        num_devices: int,
+        num_experts: int,
+        tokens_per_device: int,
+        capacity: int,
+        bytes_per_token: int,
+        fraction: float = 1.0,
+    ) -> np.ndarray:
+        counts = self.counts_for(
+            key, num_devices, num_experts, tokens_per_device, capacity, fraction
+        )
+        el = num_experts // num_devices
+        per_owner = counts.reshape(num_devices, num_devices, el).sum(axis=2)
+        return per_owner.astype(np.float64) * float(bytes_per_token)
+
+    def clear(self) -> None:
+        """No cache to clear (stateless)."""

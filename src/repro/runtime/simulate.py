@@ -1,0 +1,226 @@
+"""Timed execution of an IR program on the simulated cluster.
+
+This is the "hardware" of the reproduction: a discrete-event simulation
+with the standard two-stream GPU model (one compute stream, one NCCL
+communication stream).  Instructions issue **in program order** onto
+their stream; an instruction starts when its stream is free *and* all its
+data dependencies have completed -- exactly the semantics the paper's
+pipeline scheduler assumes (Sec. 5.3: "start time = max over (i) end of
+dependencies and (ii) end of the previous instruction of the same type").
+
+Because execution is SPMD-symmetric (all devices run the same program on
+equal-sized data, synchronized by collectives), one representative device
+timeline suffices; collective durations come from the cluster-wide
+network model, including realized irregular all-to-all sizes drawn from a
+routing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import math
+
+from ..ir import Dim, InstrKind, Instruction, Program, Stream, TensorType, get_op
+from .cluster import ClusterSpec
+from .device import COMPILED, FrameworkProfile
+from .routing_model import SyntheticRoutingModel, UniformRoutingModel
+from .timeline import Interval, Timeline
+
+#: Ops whose kernel time is scaled by the framework's dispatch multiplier
+#: (DeepSpeed's slow dispatch vs Tutel's fast kernels, paper Sec. 7).
+DISPATCH_OPS = {
+    "moe_dispatch",
+    "moe_combine",
+    "moe_dispatch_dx",
+    "moe_combine_dx",
+    "moe_combine_dprobs",
+    "routing",
+    "routing_partial",
+}
+
+
+def _scale_capacity(
+    t: TensorType, parts: int, occupancy: float = 1.0
+) -> TensorType:
+    """Shrink the capacity (or token) dimension of an irregular chunk,
+    optionally also by the realized occupancy (block-sparse kernels)."""
+    if t.has_dim(Dim.CAPACITY):
+        i = t.dim_index(Dim.CAPACITY)
+    elif t.has_dim(Dim.TOKENS):
+        i = t.dim_index(Dim.TOKENS)
+    else:
+        return t
+    shape = list(t.shape)
+    shape[i] = max(1, math.ceil(shape[i] * occupancy / parts))
+    return t.with_shape(tuple(shape))
+
+
+#: expert computation ops whose padded slots a block-sparse kernel skips
+EXPERT_BUF_OPS = frozenset({"expert_ffn", "expert_ffn_dx", "expert_ffn_dw"})
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that determines ground-truth op durations."""
+
+    cluster: ClusterSpec
+    framework: FrameworkProfile = COMPILED
+    #: True = all-to-alls move the full padded buffer (baseline behaviour);
+    #: False = irregular all-to-all moving only realized token counts
+    #: (Lancet's two-phase protocol, paper Fig. 10).
+    padded_a2a: bool = True
+    #: MegaBlocks-style block-sparse expert kernels (paper Sec. 8 future
+    #: work): expert computation skips padded capacity slots, so its cost
+    #: scales with realized tokens instead of E*C.
+    block_sparse_experts: bool = False
+    routing: SyntheticRoutingModel | UniformRoutingModel = field(
+        default_factory=lambda: SyntheticRoutingModel(seed=0)
+    )
+
+
+class GroundTruthCost:
+    """Ground-truth duration of each instruction under a config."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self._compute_cache: dict = {}
+
+    # -- compute ops -------------------------------------------------------------
+
+    def _compute_ms(self, instr: Instruction, program: Program) -> float:
+        spec = get_op(instr.op)
+        fw = self.config.framework
+        gpu = self.config.cluster.gpu
+        in_types = [program.type_of(v) for v in instr.inputs]
+        out_types = [program.type_of(v) for v in instr.outputs]
+        irr_parts = int(instr.attrs.get("irr_parts", 1))
+        occupancy = 1.0
+        if (
+            self.config.block_sparse_experts
+            and instr.op in EXPERT_BUF_OPS
+            and "tokens" in instr.attrs
+        ):
+            buf = in_types[0]
+            slots = buf.shape[0] * buf.shape[1]
+            occupancy = min(1.0, instr.attrs["tokens"] / slots)
+        if irr_parts > 1 or occupancy < 1.0:
+            # irregular chunk and/or block-sparse kernel: only realized
+            # capacity slots are computed (grouped GEMM over real rows)
+            in_types = [
+                _scale_capacity(t, irr_parts, occupancy) for t in in_types
+            ]
+            out_types = [
+                _scale_capacity(t, irr_parts, occupancy) for t in out_types
+            ]
+        key = (
+            instr.op,
+            tuple(t.shape for t in in_types),
+            fw.name,
+        )
+        hit = self._compute_cache.get(key)
+        if hit is not None:
+            return hit
+        flops = spec.flops(in_types, out_types, instr.attrs)
+        nbytes = spec.membytes(in_types, out_types, instr.attrs)
+        t = gpu.op_time_ms(flops, nbytes) * fw.compute_mult
+        if instr.op in DISPATCH_OPS:
+            t *= fw.dispatch_mult
+        t += fw.launch_ms(spec.kernels)
+        self._compute_cache[key] = t
+        return t
+
+    # -- communication ops ----------------------------------------------------------
+
+    def _a2a_ms(self, instr: Instruction, program: Program) -> float:
+        cluster = self.config.cluster
+        buf_t = program.type_of(instr.inputs[0])
+        if self.config.padded_a2a or not instr.attrs.get("irregular", False):
+            return cluster.a2a_time_ms(float(buf_t.nbytes))
+
+        # irregular: realized pair sizes from the routing model
+        e, c, h = buf_t.shape
+        g = cluster.num_gpus
+        tokens = int(instr.attrs.get("tokens", e * c))
+        layer_key = instr.attrs.get("moe_layer", instr.origin or instr.uid)
+        fraction = 1.0
+        if instr.partition is not None:
+            fraction = 1.0 / instr.partition[1]
+        pair = self.config.routing.pair_bytes_for(
+            layer_key,
+            g,
+            e,
+            tokens,
+            c if fraction == 1.0 else int(np.ceil(c)),
+            bytes_per_token=h * buf_t.dtype.nbytes,
+            fraction=fraction,
+        )
+        return cluster.a2a_time_ms_irregular(pair)
+
+    def duration_ms(self, instr: Instruction, program: Program) -> float:
+        """Ground-truth duration of one instruction in milliseconds."""
+        if instr.op == "all_to_all":
+            return self._a2a_ms(instr, program)
+        if instr.op == "allreduce":
+            nbytes = float(program.type_of(instr.inputs[0]).nbytes)
+            return self.config.cluster.allreduce_time_ms(nbytes)
+        return self._compute_ms(instr, program)
+
+
+def simulate_program(
+    program: Program,
+    cost: GroundTruthCost | None = None,
+    config: SimulationConfig | None = None,
+    duration_fn=None,
+) -> Timeline:
+    """Simulate one training iteration; returns the device timeline.
+
+    Provide either a :class:`GroundTruthCost` / :class:`SimulationConfig`
+    pair, or a raw ``duration_fn(instr, program) -> ms`` (used by Lancet's
+    internal pipeline scheduler with *predicted* costs).
+    """
+    if duration_fn is None:
+        if cost is None:
+            if config is None:
+                raise ValueError("need cost, config, or duration_fn")
+            cost = GroundTruthCost(config)
+        duration_fn = cost.duration_ms
+
+    value_ready: dict[int, float] = {}
+    stream_free = {Stream.COMPUTE: 0.0, Stream.COMM: 0.0}
+    intervals: list[Interval] = []
+
+    for instr in program.instructions:
+        stream = Stream.COMM if instr.is_comm else Stream.COMPUTE
+        dep_ready = 0.0
+        for v in instr.inputs:
+            t = value_ready.get(v, 0.0)
+            if t > dep_ready:
+                dep_ready = t
+        start = max(stream_free[stream], dep_ready)
+        dur = duration_fn(instr, program)
+        end = start + dur
+        stream_free[stream] = end
+        for o in instr.outputs:
+            value_ready[o] = end
+        intervals.append(
+            Interval(
+                uid=instr.uid,
+                op=instr.op,
+                kind=instr.kind.value,
+                stream=stream,
+                start=start,
+                end=end,
+            )
+        )
+
+    return Timeline(intervals)
+
+
+def iteration_time_ms(
+    program: Program, config: SimulationConfig
+) -> float:
+    """Convenience: simulated makespan of one iteration."""
+    return simulate_program(program, config=config).makespan

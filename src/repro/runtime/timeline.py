@@ -1,0 +1,168 @@
+"""Execution timelines and overlap accounting.
+
+The simulator produces an interval per instruction; this module reduces
+those to the quantities the paper reports: makespan (iteration time) and
+the Fig. 13 decomposition into *non-overlapped communication*, *overlap*,
+and *non-overlapped computation*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import Stream
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One executed instruction on the timeline."""
+
+    uid: int
+    op: str
+    kind: str
+    stream: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly overlapping [start, end) spans."""
+    if not spans:
+        return []
+    spans = sorted(spans)
+    out = [list(spans[0])]
+    for s, e in spans[1:]:
+        if s <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], e)
+        else:
+            out.append([s, e])
+    return [(s, e) for s, e in out]
+
+
+def total_length(spans: list[tuple[float, float]]) -> float:
+    """Total covered length of (already merged) spans."""
+    return sum(e - s for s, e in spans)
+
+
+def intersect_length(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Total length of the intersection of two merged span lists."""
+    i = j = 0
+    out = 0.0
+    while i < len(a) and j < len(b):
+        s = max(a[i][0], b[j][0])
+        e = min(a[i][1], b[j][1])
+        if e > s:
+            out += e - s
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Fig. 13-style decomposition of one iteration (all times ms)."""
+
+    makespan: float
+    comm_only: float
+    comp_only: float
+    overlapped: float
+    idle: float
+
+    @property
+    def comm_total(self) -> float:
+        """Total communication busy time (overlapped + exposed)."""
+        return self.comm_only + self.overlapped
+
+    @property
+    def comp_total(self) -> float:
+        """Total computation busy time (overlapped + exposed)."""
+        return self.comp_only + self.overlapped
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "comm_only": self.comm_only,
+            "comp_only": self.comp_only,
+            "overlapped": self.overlapped,
+            "idle": self.idle,
+        }
+
+
+@dataclass
+class Timeline:
+    """All intervals of one simulated iteration on one device."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end iteration time."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def stream_spans(self, stream: str) -> list[tuple[float, float]]:
+        """Merged busy spans of one stream."""
+        return merge_intervals(
+            [(iv.start, iv.end) for iv in self.intervals if iv.stream == stream]
+        )
+
+    def breakdown(self) -> Breakdown:
+        """Decompose the iteration into comm-only / comp-only / overlap."""
+        comp = self.stream_spans(Stream.COMPUTE)
+        comm = self.stream_spans(Stream.COMM)
+        both = intersect_length(comp, comm)
+        t_comp = total_length(comp)
+        t_comm = total_length(comm)
+        mk = self.makespan
+        return Breakdown(
+            makespan=mk,
+            comm_only=t_comm - both,
+            comp_only=t_comp - both,
+            overlapped=both,
+            idle=mk - (t_comp + t_comm - both),
+        )
+
+    def per_op_totals(self) -> dict[str, float]:
+        """Total busy time per op name (double-counts nothing: durations)."""
+        out: dict[str, float] = {}
+        for iv in self.intervals:
+            out[iv.op] = out.get(iv.op, 0.0) + iv.duration
+        return out
+
+    def total_time_of(self, ops: set[str] | None = None, kind: str | None = None) -> float:
+        """Sum of durations, filtered by op names and/or kind."""
+        out = 0.0
+        for iv in self.intervals:
+            if ops is not None and iv.op not in ops:
+                continue
+            if kind is not None and iv.kind != kind:
+                continue
+            out += iv.duration
+        return out
+
+    def exposed_time_of(self, ops: set[str]) -> float:
+        """Time the given ops spend with the *other* stream idle.
+
+        E.g. ``exposed_time_of({'all_to_all'})`` = non-overlapped
+        all-to-all time, the headline metric of the paper.
+        """
+        target = merge_intervals(
+            [(iv.start, iv.end) for iv in self.intervals if iv.op in ops]
+        )
+        if not target:
+            return 0.0
+        streams = {iv.stream for iv in self.intervals if iv.op in ops}
+        if len(streams) != 1:
+            raise ValueError(f"ops {ops} span multiple streams {streams}")
+        other = Stream.COMPUTE if streams.pop() == Stream.COMM else Stream.COMM
+        other_spans = self.stream_spans(other)
+        return total_length(target) - intersect_length(target, other_spans)

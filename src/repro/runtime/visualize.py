@@ -1,0 +1,95 @@
+"""ASCII rendering of execution timelines.
+
+Turns a :class:`~repro.runtime.timeline.Timeline` into a two-lane text
+chart (computation stream / communication stream) so overlap structure is
+visible at a glance in a terminal:
+
+    comp |EEEE####.....##EEEE######          |
+    comm |    AAAAAAAAAA      AAAAARRR       |
+
+Legend: ``A`` all-to-all, ``R`` all-reduce, ``E`` expert computation,
+``d`` dW computation, ``#`` other computation, space = idle.
+"""
+
+from __future__ import annotations
+
+from ..ir import Stream
+from .timeline import Timeline
+
+#: op name -> glyph (checked in order; first match wins)
+_GLYPHS: list[tuple[tuple[str, ...], str]] = [
+    (("all_to_all",), "A"),
+    (("allreduce",), "R"),
+    (("expert_ffn", "expert_ffn_dx", "expert_ffn_dw"), "E"),
+    (("matmul_dw", "bias_grad", "layernorm_dw", "embedding_dw",
+      "pos_embedding_dw"), "d"),
+    (("split_chunk", "concat", "accumulate", "route_concat", "route_slice"), "s"),
+]
+
+
+def _glyph(op: str) -> str:
+    for ops, g in _GLYPHS:
+        if op in ops:
+            return g
+    return "#"
+
+
+def render_timeline(
+    timeline: Timeline,
+    width: int = 100,
+    start_ms: float | None = None,
+    end_ms: float | None = None,
+) -> str:
+    """Render the two streams as fixed-width character lanes.
+
+    Each column covers ``(end - start) / width`` milliseconds and shows
+    the glyph of the op occupying most of that column on each stream.
+    """
+    if not timeline.intervals:
+        return "(empty timeline)"
+    t0 = 0.0 if start_ms is None else start_ms
+    t1 = timeline.makespan if end_ms is None else end_ms
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    col_ms = (t1 - t0) / width
+
+    lanes = {Stream.COMPUTE: [" "] * width, Stream.COMM: [" "] * width}
+    occupancy = {
+        Stream.COMPUTE: [0.0] * width,
+        Stream.COMM: [0.0] * width,
+    }
+    for iv in timeline.intervals:
+        lane = lanes[iv.stream]
+        occ = occupancy[iv.stream]
+        lo = max(int((iv.start - t0) / col_ms), 0)
+        hi = min(int((iv.end - t0) / col_ms) + 1, width)
+        for c in range(lo, hi):
+            cs = t0 + c * col_ms
+            ce = cs + col_ms
+            covered = max(0.0, min(iv.end, ce) - max(iv.start, cs))
+            if covered > occ[c]:
+                occ[c] = covered
+                lane[c] = _glyph(iv.op)
+
+    header = f"{t0:.1f} ms {'-' * max(width - 18, 1)} {t1:.1f} ms"
+    return "\n".join(
+        [
+            header,
+            "comp |" + "".join(lanes[Stream.COMPUTE]) + "|",
+            "comm |" + "".join(lanes[Stream.COMM]) + "|",
+            "legend: A=all-to-all R=all-reduce E=experts d=dW "
+            "s=split/concat #=other",
+        ]
+    )
+
+
+def overlap_summary(timeline: Timeline) -> str:
+    """One-line textual summary of the overlap structure."""
+    bd = timeline.breakdown()
+    total = max(bd.makespan, 1e-9)
+    return (
+        f"makespan {bd.makespan:.1f} ms | "
+        f"comm-only {bd.comm_only:.1f} ({100 * bd.comm_only / total:.0f}%) | "
+        f"overlap {bd.overlapped:.1f} ({100 * bd.overlapped / total:.0f}%) | "
+        f"comp-only {bd.comp_only:.1f} ({100 * bd.comp_only / total:.0f}%)"
+    )

@@ -1,0 +1,7 @@
+"""Training substrate: synthetic data, optimizer, numeric training loop."""
+
+from .data import SyntheticCorpus
+from .loop import StepResult, Trainer
+from .optimizer import SGD
+
+__all__ = ["SGD", "StepResult", "SyntheticCorpus", "Trainer"]

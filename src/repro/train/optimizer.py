@@ -1,0 +1,40 @@
+"""Standalone SGD-with-momentum optimizer for numpy parameter pytrees.
+
+The IR path embeds the update as ``sgd_update`` instructions; this class
+serves code that trains the standalone :class:`~repro.moe.DistributedMoELayer`
+directly (examples, convergence tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SGD:
+    """SGD with (heavy-ball) momentum: ``m = mu*m + g; w -= lr*m``."""
+
+    lr: float = 0.01
+    momentum: float = 0.9
+    _state: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update parameters in place."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch {p.shape} vs {g.shape}")
+            buf = self._state.get(id(p))
+            if buf is None:
+                buf = np.zeros_like(p)
+                self._state[id(p)] = buf
+            buf *= self.momentum
+            buf += g
+            p -= self.lr * buf
+
+    def reset(self) -> None:
+        """Drop all momentum buffers."""
+        self._state.clear()

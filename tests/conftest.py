@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GPT2MoEConfig, build_training_graph
+from repro.models import build_forward
+from repro.models.init import init_device_values
+from repro.runtime import ClusterSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg() -> GPT2MoEConfig:
+    return GPT2MoEConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_cfg):
+    """A 2-device tiny training graph (forward+backward+sync+sgd)."""
+    return build_training_graph(tiny_cfg, batch=4, seq=8, num_gpus=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_forward(tiny_cfg):
+    """Forward-only tiny graph."""
+    return build_forward(tiny_cfg, batch=4, seq=8, num_gpus=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_values(tiny_graph):
+    """Initialized per-device values for the tiny graph (do not mutate:
+    copy dicts before executing)."""
+    return init_device_values(tiny_graph, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_cluster() -> ClusterSpec:
+    return ClusterSpec.for_gpus("a100", 2)
+
+
+@pytest.fixture(scope="session")
+def a100_16() -> ClusterSpec:
+    return ClusterSpec.p4de(2)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def fresh_values(values):
+    """Deep-enough copy of per-device value dicts for one execution."""
+    return [dict(v) for v in values]

@@ -1,0 +1,138 @@
+"""Tests for partition rules and the CSP axis inferencer (paper Sec. 5.2)."""
+
+import pytest
+
+from repro import GPT2MoEConfig
+from repro.ir import AXIS_IRREGULAR as IRR
+from repro.ir import NOT_PARTITIONED as NP
+from repro.core.partition import (
+    RuleContext,
+    infer_axes,
+    range_is_moe_only,
+    rules_for,
+)
+from repro.models import build_forward
+
+
+def moe_range(graph, from_op="layernorm", include_combine=True):
+    """Slice the instruction range of the first MoE layer."""
+    p = graph.program
+    pos = p.instr_index()
+    ml = graph.moe_layers[0]
+    starts = {
+        "layernorm": pos[ml.gate_matmul_uid] - 1,
+        "gate": pos[ml.gate_matmul_uid],
+        "dispatch": pos[ml.dispatch_uid],
+        "a2a": pos[ml.a2a_first_uid],
+    }
+    start = starts[from_op]
+    end = pos[ml.combine_uid] + 1 if include_combine else pos[ml.a2a_second_uid] + 1
+    return p.instructions[start:end], p
+
+
+@pytest.fixture(scope="module")
+def switch_graph():
+    return build_forward(GPT2MoEConfig.tiny(), batch=4, seq=8, num_gpus=2)
+
+
+@pytest.fixture(scope="module")
+def bpr_graph():
+    return build_forward(GPT2MoEConfig.tiny(gate="bpr"), batch=4, seq=8, num_gpus=2)
+
+
+class TestRules:
+    def test_matmul_rules(self, switch_graph):
+        p = switch_graph.program
+        mm = next(i for i in p.instructions if i.op == "matmul")
+        ins = [p.type_of(v) for v in mm.inputs]
+        outs = [p.type_of(v) for v in mm.outputs]
+        rules = rules_for(mm, ins, outs, RuleContext())
+        assert ((0, NP), (0,)) in rules  # batch split
+        assert ((NP, 1), (2,)) in rules  # weight column split
+
+    def test_attention_batch_only(self, switch_graph):
+        p = switch_graph.program
+        att = next(i for i in p.instructions if i.op == "attention")
+        ins = [p.type_of(v) for v in att.inputs]
+        outs = [p.type_of(v) for v in att.outputs]
+        rules = rules_for(att, ins, outs, RuleContext())
+        assert rules == [((0, 0, 0), (0,))]
+
+    def test_bpr_routing_has_no_rules(self, bpr_graph):
+        p = bpr_graph.program
+        r = next(i for i in p.instructions if i.op == "routing")
+        assert rules_for(r, [p.type_of(v) for v in r.inputs],
+                         [p.type_of(v) for v in r.outputs], RuleContext()) == []
+
+    def test_capacity_axis_requires_moe_only(self, switch_graph):
+        p = switch_graph.program
+        a2a = next(i for i in p.instructions if i.op == "all_to_all")
+        ins = [p.type_of(v) for v in a2a.inputs]
+        outs = [p.type_of(v) for v in a2a.outputs]
+        open_rules = rules_for(a2a, ins, outs, RuleContext(moe_only=False))
+        moe_rules = rules_for(a2a, ins, outs, RuleContext(moe_only=True))
+        assert ((1,), (1,)) not in open_rules
+        assert ((1,), (1,)) in moe_rules
+
+    def test_unknown_op_unpartitionable(self, switch_graph):
+        p = switch_graph.program
+        ce = next(i for i in p.instructions if i.op == "cross_entropy")
+        assert rules_for(ce, [p.type_of(v) for v in ce.inputs],
+                         [p.type_of(v) for v in ce.outputs], RuleContext()) == []
+
+
+class TestInference:
+    def test_switch_full_range_matches_paper_fig8a(self, switch_graph):
+        instrs, p = moe_range(switch_graph, "layernorm")
+        res = infer_axes(instrs, p)
+        assert res is not None
+        by_op = {i.op: i for i in instrs}
+        assert res.axis_of(by_op["layernorm"].outputs[0]) == 0
+        assert res.axis_of(by_op["routing"].outputs[0]) == IRR
+        assert res.axis_of(by_op["expert_ffn"].outputs[0]) == IRR
+        assert res.axis_of(by_op["moe_combine"].outputs[0]) == 0
+        # weights replicated
+        assert res.axis_of(by_op["expert_ffn"].inputs[1]) == NP
+
+    def test_moe_only_range_uses_capacity_axis(self, switch_graph):
+        instrs, p = moe_range(switch_graph, "a2a", include_combine=False)
+        assert range_is_moe_only(instrs)
+        res = infer_axes(instrs, p)
+        assert res is not None
+        for i in instrs:
+            assert res.axis_of(i.outputs[0]) == 1
+
+    def test_bpr_gate_in_range_infeasible(self, bpr_graph):
+        instrs, p = moe_range(bpr_graph, "gate")
+        assert infer_axes(instrs, p) is None
+
+    def test_bpr_from_dispatch_feasible(self, bpr_graph):
+        instrs, p = moe_range(bpr_graph, "dispatch")
+        res = infer_axes(instrs, p)
+        assert res is not None
+        # the route enters the range irregularly (sliced by token chunk)
+        route_vid = instrs[0].inputs[1]
+        assert res.axis_of(route_vid) == IRR
+
+    def test_empty_range(self, switch_graph):
+        assert infer_axes([], switch_graph.program) is None
+
+    def test_range_with_only_dense_compute(self, switch_graph):
+        """A pure-compute range is partitionable at the batch axis."""
+        p = switch_graph.program
+        pos = p.instr_index()
+        ml = switch_graph.moe_layers[0]
+        # self-attention block before the MoE layer
+        start = pos[ml.gate_matmul_uid] - 10
+        instrs = p.instructions[max(start, 0) : pos[ml.gate_matmul_uid] - 1]
+        res = infer_axes(instrs, p)
+        assert res is not None
+        for ins in instrs:
+            assert all(res.axis_of(o) in (0,) for o in ins.outputs)
+
+    def test_expert_choice_gate_infeasible(self):
+        g = build_forward(
+            GPT2MoEConfig.tiny(gate="expert_choice"), batch=4, seq=8, num_gpus=2
+        )
+        instrs, p = moe_range(g, "gate")
+        assert infer_axes(instrs, p) is None

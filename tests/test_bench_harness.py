@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness and formatting."""
+
+import pytest
+
+from repro.bench import (
+    Measurement,
+    Setting,
+    clear_cache,
+    estimate_memory_gb,
+    format_table,
+    model_by_name,
+    paper_batch,
+    run_setting,
+)
+
+
+class TestSettings:
+    def test_paper_batches(self):
+        assert paper_batch("a100", "GPT2-S-MoE") == 24
+        assert paper_batch("a100", "GPT2-L-MoE") == 48
+        assert paper_batch("v100", "GPT2-S-MoE") == 16
+        assert paper_batch("v100", "GPT2-L-MoE") == 8
+
+    def test_model_by_name(self):
+        assert model_by_name("GPT2-S-MoE").num_layers == 12
+        assert model_by_name("GPT2-L-MoE").hidden == 1024
+        with pytest.raises(ValueError):
+            model_by_name("GPT3")
+
+    def test_setting_resolves_batch(self):
+        s = Setting("GPT2-S-MoE", "v100", 16, "raf")
+        assert s.resolved_batch() == 16
+        s2 = Setting("GPT2-S-MoE", "v100", 16, "raf", batch=4)
+        assert s2.resolved_batch() == 4
+
+
+class TestRunSetting:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return run_setting(
+            Setting("GPT2-S-MoE", "a100", 16, "raf", batch=4, seq=128)
+        )
+
+    def test_fields_populated(self, measurement):
+        m = measurement
+        assert m.iteration_ms > 0
+        assert m.a2a_total_ms > 0
+        assert m.expert_fwd_ms > 0
+        assert m.memory_gb > 0
+        # decomposition adds up (plus idle)
+        assert (
+            m.comm_only_ms + m.comp_only_ms + m.overlap_ms
+            <= m.iteration_ms + 1e-6
+        )
+
+    def test_memoized(self):
+        s = Setting("GPT2-S-MoE", "a100", 16, "raf", batch=4, seq=128)
+        a = run_setting(s)
+        b = run_setting(s)
+        assert a is b
+
+    def test_lancet_info(self):
+        m = run_setting(
+            Setting("GPT2-S-MoE", "a100", 16, "lancet", batch=4, seq=128)
+        )
+        assert "pass_seconds" in m.info
+        assert "predicted_ms" in m.info
+
+    def test_others_bucket(self, measurement):
+        assert measurement.others_ms > 0
+
+
+class TestMemoryEstimate:
+    def test_deepspeed_needs_more(self, tiny_graph):
+        ds = estimate_memory_gb(tiny_graph, "deepspeed")
+        raf = estimate_memory_gb(tiny_graph, "raf")
+        assert ds > raf
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        t = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.001]], title="T")
+        lines = t.split("\n")
+        assert lines[0] == "T"
+        assert "xyz" in t and "2.50" in t and "0.001" in t
+
+    def test_empty_rows(self):
+        t = format_table(["col"], [])
+        assert "col" in t

@@ -1,0 +1,128 @@
+"""Tests for the GPU performance model and the cluster network model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    A100,
+    COMPILED,
+    DEEPSPEED,
+    TUTEL,
+    V100,
+    ClusterSpec,
+    FrameworkProfile,
+    GPUSpec,
+)
+
+
+class TestGPUSpec:
+    def test_efficiency_saturates(self):
+        assert A100.matmul_efficiency(1e6) < A100.matmul_efficiency(1e12)
+        assert A100.matmul_efficiency(1e15) <= A100.matmul_eff_max
+
+    def test_flop_time_superlinear_for_small_ops(self):
+        """Halving the FLOPs less than halves the rate (efficiency drop):
+        a chunked matmul is relatively more expensive -- paper Challenge 2."""
+        big = A100.flop_time_ms(40e9)
+        small = A100.flop_time_ms(10e9)
+        assert small > big / 4
+
+    def test_roofline(self):
+        # compute-bound op
+        assert A100.op_time_ms(1e12, 1e6) == A100.flop_time_ms(1e12)
+        # memory-bound op
+        assert A100.op_time_ms(1e6, 1e9) == A100.mem_time_ms(1e9)
+
+    def test_a100_faster_than_v100(self):
+        assert A100.flop_time_ms(1e12) < V100.flop_time_ms(1e12)
+        assert A100.mem_time_ms(1e9) < V100.mem_time_ms(1e9)
+
+    def test_zero_work(self):
+        assert A100.op_time_ms(0, 0) == 0.0
+
+
+class TestFrameworkProfiles:
+    def test_eager_has_higher_launch_cost(self):
+        assert TUTEL.launch_us > COMPILED.launch_us
+        assert DEEPSPEED.dispatch_mult > TUTEL.dispatch_mult
+
+    def test_launch_ms(self):
+        assert COMPILED.launch_ms(3) == pytest.approx(3 * COMPILED.launch_us * 1e-3)
+
+
+class TestClusterTopology:
+    def test_presets(self):
+        p4 = ClusterSpec.p4de(2)
+        assert p4.num_gpus == 16 and p4.gpu.name == "A100"
+        p3 = ClusterSpec.p3dn(8)
+        assert p3.num_gpus == 64 and p3.gpu.name == "V100"
+
+    def test_for_gpus(self):
+        c = ClusterSpec.for_gpus("v100", 32)
+        assert c.num_nodes == 4
+        c2 = ClusterSpec.for_gpus("a100", 2)
+        assert c2.num_gpus == 2 and not c2.multi_node
+        with pytest.raises(ValueError):
+            ClusterSpec.for_gpus("tpu", 8)
+        with pytest.raises(ValueError):
+            ClusterSpec.for_gpus("a100", 12)
+
+
+class TestAllToAllModel:
+    def test_monotone_in_bytes(self):
+        c = ClusterSpec.p4de(2)
+        assert c.a2a_time_ms(1 << 20) < c.a2a_time_ms(1 << 24)
+
+    def test_inter_node_slower_than_intra(self):
+        single = ClusterSpec.for_gpus("a100", 8)
+        multi = ClusterSpec.p4de(2)
+        nbytes = 16 * 2**20
+        assert multi.a2a_time_ms(nbytes) > single.a2a_time_ms(nbytes)
+
+    def test_latency_floor(self):
+        c = ClusterSpec.p4de(2)
+        assert c.a2a_time_ms(1) >= c.alpha_ms()
+
+    def test_irregular_uniform_close_to_dense_model(self):
+        """A perfectly uniform pair matrix should cost about the same as
+        the uniform model (plus the size-exchange phase)."""
+        c = ClusterSpec.p4de(2)
+        g = c.num_gpus
+        total = 8 * 2**20
+        pair = np.full((g, g), total / g)
+        t_irr = c.a2a_time_ms_irregular(pair)
+        t_uni = c.a2a_time_ms(total)
+        assert t_irr == pytest.approx(t_uni + c.alpha_ms(), rel=0.15)
+
+    def test_irregular_hotspot_costs_more(self):
+        c = ClusterSpec.p4de(2)
+        g = c.num_gpus
+        total = 8 * 2**20
+        uniform = np.full((g, g), total / g)
+        hot = uniform.copy()
+        hot[:, 0] *= 3  # everyone over-sends to device 0
+        assert c.a2a_time_ms_irregular(hot) > c.a2a_time_ms_irregular(uniform)
+
+    def test_irregular_shape_checked(self):
+        c = ClusterSpec.p4de(2)
+        with pytest.raises(ValueError):
+            c.a2a_time_ms_irregular(np.zeros((4, 4)))
+
+
+class TestAllReduceModel:
+    def test_hierarchical_cheaper_than_flat_ring(self):
+        """All-reduce crosses the node boundary once per byte; all-to-all
+        pays per-GPU NIC share -- the asymmetry the paper relies on."""
+        c = ClusterSpec.p4de(2)
+        nbytes = 64 * 2**20
+        assert c.allreduce_time_ms(nbytes) < c.a2a_time_ms(nbytes)
+
+    def test_zero_bytes(self):
+        assert ClusterSpec.p4de(2).allreduce_time_ms(0) == 0.0
+
+    def test_single_gpu_free(self):
+        c = ClusterSpec.for_gpus("a100", 8)
+        one = ClusterSpec(
+            name="one", gpu=c.gpu, num_nodes=1, gpus_per_node=1
+        )
+        assert one.allreduce_time_ms(1 << 20) == 0.0

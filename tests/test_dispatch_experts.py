@@ -1,0 +1,149 @@
+"""Unit tests for dispatch/combine gradients, buffer exchange, and the
+grouped expert FFN."""
+
+import numpy as np
+import pytest
+
+from repro.moe import (
+    combine,
+    combine_dprobs,
+    combine_dx,
+    dispatch,
+    exchange_expert_buffers,
+    exchange_expert_buffers_inverse,
+    expert_ffn,
+    expert_ffn_backward,
+    gate_weights,
+    gelu,
+    gelu_grad,
+    route_switch,
+)
+from repro.moe.layer import softmax
+
+
+@pytest.fixture()
+def routed(rng):
+    t, e, c, h = 24, 4, 8, 6
+    probs = softmax(rng.standard_normal((t, e)))
+    info, _ = route_switch(probs, capacity=c)
+    x = rng.standard_normal((t, h))
+    return probs, info, x
+
+
+class TestCombineGradients:
+    def test_combine_dx_finite_difference(self, routed, rng):
+        probs, info, x = routed
+        buf = dispatch(x, info)
+        dy = rng.standard_normal(x.shape)
+        dbuf = combine_dx(dy, info, probs)
+        eps = 1e-6
+        idx = (info.expert_idx[0], info.slot_idx[0], 3)
+        orig = buf[idx]
+        buf[idx] = orig + eps
+        yp = combine(buf, info, probs)
+        buf[idx] = orig - eps
+        ym = combine(buf, info, probs)
+        buf[idx] = orig
+        num = ((yp - ym) / (2 * eps) * dy).sum()
+        assert np.isclose(num, dbuf[idx], atol=1e-8)
+
+    def test_combine_dprobs_finite_difference(self, routed, rng):
+        probs, info, x = routed
+        buf = dispatch(x, info)
+        dy = rng.standard_normal(x.shape)
+        dprobs = combine_dprobs(dy, buf, info)
+        eps = 1e-6
+        tok, exp = int(info.token_idx[0]), int(info.expert_idx[0])
+        orig = probs[tok, exp]
+        probs[tok, exp] = orig + eps
+        yp = combine(buf, info, probs)
+        probs[tok, exp] = orig - eps
+        ym = combine(buf, info, probs)
+        probs[tok, exp] = orig
+        num = ((yp - ym) / (2 * eps) * dy).sum()
+        assert np.isclose(num, dprobs[tok, exp], atol=1e-8)
+
+    def test_gate_weights_match_probs(self, routed):
+        probs, info, _ = routed
+        w = gate_weights(info, probs)
+        assert np.allclose(w, probs[info.token_idx, info.expert_idx])
+
+
+class TestBufferExchange:
+    def test_roundtrip_identity(self, rng):
+        g, el, c, h = 4, 2, 3, 5
+        bufs = [rng.standard_normal((g * el, c, h)) for _ in range(g)]
+        back = exchange_expert_buffers_inverse(exchange_expert_buffers(bufs))
+        for a, b in zip(bufs, back):
+            assert np.array_equal(a, b)
+
+    def test_expert_rows_land_on_owner(self, rng):
+        """Device d's chunk for expert e must arrive at device e // El."""
+        g, el, c, h = 2, 2, 2, 3
+        bufs = [np.zeros((g * el, c, h)) for _ in range(g)]
+        bufs[0][3, 0, 0] = 42.0  # device 0 sends to expert 3 (owner: dev 1)
+        out = exchange_expert_buffers(bufs)
+        assert (out[0] == 0).all()
+        # expert 3 is local expert 1 on device 1; source 0 -> row 1*G+0 = 2
+        assert out[1][2, 0, 0] == 42.0
+
+    def test_single_device_is_identity_layout(self, rng):
+        bufs = [rng.standard_normal((3, 2, 4))]
+        out = exchange_expert_buffers(bufs)
+        assert np.array_equal(out[0], bufs[0])
+
+
+class TestExpertFFN:
+    def test_empty_slots_produce_zero(self, rng):
+        el, g, c, h, f = 2, 2, 4, 6, 12
+        buf = np.zeros((el * g, c, h))
+        buf[0, 0] = rng.standard_normal(h)  # one occupied slot
+        w1 = rng.standard_normal((el, h, f))
+        b1 = rng.standard_normal((el, f))
+        w2 = rng.standard_normal((el, f, h))
+        b2 = rng.standard_normal((el, h))
+        out = expert_ffn(buf, w1, b1, w2, b2)
+        assert not np.allclose(out[0, 0], 0.0)
+        mask = np.ones((el * g, c), dtype=bool)
+        mask[0, 0] = False
+        assert np.allclose(out[mask], 0.0)
+
+    def test_backward_finite_difference(self, rng):
+        el, g, c, h, f = 2, 1, 3, 4, 8
+        buf = rng.standard_normal((el * g, c, h))
+        w1 = rng.standard_normal((el, h, f)) * 0.3
+        b1 = rng.standard_normal((el, f)) * 0.1
+        w2 = rng.standard_normal((el, f, h)) * 0.3
+        b2 = rng.standard_normal((el, h)) * 0.1
+        dout = rng.standard_normal(buf.shape)
+        dbuf, dw1, db1, dw2, db2 = expert_ffn_backward(dout, buf, w1, b1, w2)
+        eps = 1e-6
+        for arr, grad, idx in [
+            (buf, dbuf, (1, 2, 3)),
+            (w1, dw1, (0, 1, 2)),
+            (b1, db1, (1, 3)),
+            (w2, dw2, (1, 2, 1)),
+            (b2, db2, (0, 2)),
+        ]:
+            orig = arr[idx]
+            arr[idx] = orig + eps
+            yp = expert_ffn(buf, w1, b1, w2, b2)
+            arr[idx] = orig - eps
+            ym = expert_ffn(buf, w1, b1, w2, b2)
+            arr[idx] = orig
+            num = ((yp - ym) / (2 * eps) * dout).sum()
+            assert np.isclose(num, grad[idx], atol=1e-6), idx
+
+    def test_wrong_expert_count_rejected(self, rng):
+        buf = rng.standard_normal((5, 2, 4))  # 5 not divisible by El=2
+        w = rng.standard_normal((2, 4, 8))
+        with pytest.raises(ValueError):
+            expert_ffn(buf, w, np.zeros((2, 8)), rng.standard_normal((2, 8, 4)), np.zeros((2, 4)))
+
+
+class TestGelu:
+    def test_gelu_grad_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 41)
+        eps = 1e-6
+        num = (gelu(x + eps) - gelu(x - eps)) / (2 * eps)
+        assert np.allclose(num, gelu_grad(x), atol=1e-6)

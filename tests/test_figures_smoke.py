@@ -1,0 +1,98 @@
+"""Smoke tests for the figure runners with reduced grids.
+
+The full grids run under ``pytest benchmarks/ --benchmark-only``; these
+unit-level checks keep the runners importable, well-formed and minimally
+correct on tiny grids so refactors are caught by the fast suite.
+"""
+
+import pytest
+
+from repro.bench import ALL_FIGURES
+from repro.bench.figures import fig02, fig06, fig11, fig13, fig14, fig15
+
+
+class TestRegistry:
+    def test_all_paper_figures_covered(self):
+        assert set(ALL_FIGURES) == {
+            "fig02",
+            "fig06",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "headline",
+        }
+
+
+class TestFig02:
+    def test_small_grid(self):
+        r = fig02.run(gpu_counts=(16,))
+        assert len(r.rows) == 2  # tutel + deepspeed
+        for row in r.rows:
+            assert row["orig_ms"] >= row["curr_ms"] >= row["opt_ms"]
+            # bars decompose the total exactly
+            assert row["a2a_ms"] + row["expert_ms"] + row["others_ms"] == (
+                pytest.approx(row["orig_ms"])
+            )
+        assert "Fig. 2" in r.table
+
+
+class TestFig06:
+    def test_minimal_sweep(self):
+        r = fig06.run(range_points=(0.0, 2.0), parts=2)
+        kinds = [row["range_ms"] for row in r.rows]
+        assert kinds[0] == "Orig." and kinds[-1] == "DP"
+        orig = r.rows[0]["time_ms"]
+        assert all(row["time_ms"] > 0 for row in r.rows)
+        assert r.rows[0]["normalized"] == 1.0
+        # partitioning at range 0 (Tutel-like) already helps
+        assert r.rows[1]["time_ms"] < orig
+
+
+class TestFig11:
+    def test_single_cell(self):
+        r = fig11.run(
+            gate="switch",
+            models=("GPT2-S-MoE",),
+            clusters=("a100",),
+            gpu_counts=(16,),
+            frameworks=("raf", "lancet"),
+        )
+        assert len(r.rows) == 2
+        lancet = next(x for x in r.rows if x["framework"] == "lancet")
+        raf = next(x for x in r.rows if x["framework"] == "raf")
+        assert lancet["iteration_ms"] < raf["iteration_ms"]
+        assert lancet["speedup_vs_best_baseline"] > 1.0
+
+
+class TestFig13:
+    def test_single_cell(self):
+        r = fig13.run(
+            models=("GPT2-S-MoE",), clusters=("a100",), num_gpus=16,
+            frameworks=("lancet", "raf"),
+        )
+        lancet = next(x for x in r.rows if x["framework"] == "lancet")
+        raf = next(x for x in r.rows if x["framework"] == "raf")
+        assert lancet["comm_only_ms"] < raf["comm_only_ms"]
+        assert r.notes["max_reduction_vs_raf"] > 0
+
+
+class TestFig14:
+    def test_single_cell(self):
+        r = fig14.run(
+            models=("GPT2-S-MoE",), clusters=("a100",), gpu_counts=(16,),
+            gates=("switch",),
+        )
+        assert len(r.rows) == 1
+        assert r.notes["avg_pct_error"] < 15.0
+
+
+class TestFig15:
+    def test_single_cell(self):
+        r = fig15.run(
+            models=("GPT2-S-MoE",), clusters=("a100",), gpu_counts=(16,)
+        )
+        assert len(r.rows) == 1
+        assert r.rows[0]["partition_pass_s"] > r.rows[0]["dw_pass_s"]

@@ -1,0 +1,133 @@
+"""Unit tests for the autodiff backward builder."""
+
+import pytest
+
+from repro.ir import (
+    Dim,
+    DType,
+    InstrKind,
+    Program,
+    TensorType,
+    build_backward,
+    insert_gradient_sync,
+    insert_sgd,
+    validate,
+)
+
+
+def linear_loss_program():
+    """x @ w -> bias -> gelu -> matmul -> cross_entropy."""
+    p = Program("toy")
+    x = p.add_input(
+        TensorType((2, 4), DType.I32, (Dim.BATCH, Dim.SEQ)), "ids"
+    )
+    labels = p.add_input(
+        TensorType((2, 4), DType.I32, (Dim.BATCH, Dim.SEQ)), "labels"
+    )
+    wte = p.add_param(TensorType((16, 8), DType.F16, (Dim.VOCAB, Dim.HIDDEN)), "wte")
+    w = p.add_param(TensorType((8, 16), DType.F16), "w")
+    b = p.add_param(TensorType((16,), DType.F16), "b")
+    (e,) = p.add("embedding", [wte.id, x.id])
+    (h,) = p.add("matmul", [e.id, w.id])
+    (h,) = p.add("bias_add", [h.id, b.id])
+    (h,) = p.add("gelu", [h.id])
+    (loss,) = p.add("cross_entropy", [h.id, labels.id])
+    p.outputs.append(loss.id)
+    return p, loss.id, {"wte": wte.id, "w": w.id, "b": b.id}
+
+
+class TestBuildBackward:
+    def test_grads_for_all_params(self):
+        p, loss, params = linear_loss_program()
+        build_backward(p, loss)
+        validate(p)
+        for name, pid in params.items():
+            assert pid in p.grads, f"missing grad for {name}"
+
+    def test_kinds_assigned(self):
+        p, loss, params = linear_loss_program()
+        build_backward(p, loss)
+        kinds = {i.kind for i in p.instructions}
+        assert InstrKind.DW in kinds and InstrKind.DX in kinds
+
+    def test_dw_ops_are_weight_grads(self):
+        p, loss, params = linear_loss_program()
+        build_backward(p, loss)
+        dw_ops = {i.op for i in p.instructions if i.kind == InstrKind.DW}
+        assert "matmul_dw" in dw_ops
+        assert "bias_grad" in dw_ops
+        assert "embedding_dw" in dw_ops
+
+    def test_grad_accumulation_for_fanout(self):
+        """A value used twice gets its gradients summed with an add."""
+        p = Program("fan")
+        x = p.add_input(TensorType((2, 4), DType.F16), "x")
+        w = p.add_param(TensorType((4, 4), DType.F16), "w")
+        labels = p.add_input(TensorType((2,), DType.I32), "labels")
+        (h,) = p.add("matmul", [x.id, w.id])
+        (a,) = p.add("gelu", [h.id])
+        (b,) = p.add("relu", [h.id])
+        (s,) = p.add("add", [a.id, b.id])
+        (loss,) = p.add("cross_entropy", [s.id, labels.id])
+        build_backward(p, loss.id)
+        validate(p)
+        dx_adds = [
+            i
+            for i in p.instructions
+            if i.op == "add" and i.kind == InstrKind.DX
+        ]
+        assert dx_adds, "fan-out gradient accumulation should emit an add"
+
+    def test_backward_on_model_graph(self, tiny_graph):
+        p = tiny_graph.program
+        validate(p)
+        # every parameter receives a gradient
+        assert set(p.grads.keys()) == set(p.params)
+
+    def test_backward_a2a_direction_flipped(self, tiny_graph):
+        p = tiny_graph.program
+        fwd = p.instructions[: tiny_graph.forward_len]
+        bwd = p.instructions[tiny_graph.forward_len :]
+        fwd_dirs = [i.attrs["direction"] for i in fwd if i.op == "all_to_all"]
+        bwd_dirs = [i.attrs["direction"] for i in bwd if i.op == "all_to_all"]
+        assert fwd_dirs == ["scatter", "gather"]
+        # backward mirrors: gradient of gather is scatter and vice versa
+        assert bwd_dirs == ["scatter", "gather"]
+
+
+class TestGradientSync:
+    def test_allreduce_only_for_shared_params(self, tiny_cfg):
+        from repro.models import build_forward
+
+        g = build_forward(tiny_cfg, batch=4, seq=8, num_gpus=2)
+        p = g.program
+        build_backward(p, g.loss)
+        n_params = len(p.params)
+        n_expert = len(g.expert_params)
+        insert_gradient_sync(p, g.expert_params)
+        n_ar = sum(1 for i in p.instructions if i.op == "allreduce")
+        assert n_ar == n_params - n_expert
+
+    def test_allreduce_placed_after_producer(self, tiny_graph):
+        p = tiny_graph.program
+        producers = p.producers()
+        pos = p.instr_index()
+        for instr in p.instructions:
+            if instr.op != "allreduce":
+                continue
+            src = producers[instr.inputs[0]]
+            assert pos[src.uid] < pos[instr.uid]
+
+
+class TestInsertSGD:
+    def test_sgd_updates_every_param(self, tiny_graph):
+        p = tiny_graph.program
+        n_sgd = sum(1 for i in p.instructions if i.op == "sgd_update")
+        assert n_sgd == len(p.params)
+        assert len(p.states) == len(p.params)
+
+    def test_sgd_kind(self, tiny_graph):
+        p = tiny_graph.program
+        for i in p.instructions:
+            if i.op == "sgd_update":
+                assert i.kind == InstrKind.OPTIMIZER

@@ -1,0 +1,116 @@
+"""Unit tests for the dependency graph and reachability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ir import DependencyGraph, DType, Program, TensorType, verify_schedulable
+
+
+def chain_program(n=4):
+    """x -> gelu -> gelu -> ... (a simple chain)."""
+    p = Program("chain")
+    x = p.add_input(TensorType((4, 4), DType.F16), "x")
+    cur = x.id
+    for _ in range(n):
+        (y,) = p.add("gelu", [cur])
+        cur = y.id
+    return p
+
+
+def diamond_program():
+    """Two independent branches joined by an add."""
+    p = Program("diamond")
+    x = p.add_input(TensorType((4, 4), DType.F16), "x")
+    (a,) = p.add("gelu", [x.id])
+    (b,) = p.add("relu", [x.id])
+    (c,) = p.add("add", [a.id, b.id])
+    return p
+
+
+class TestDependencyGraph:
+    def test_chain_reachability(self):
+        g = DependencyGraph.from_program(chain_program(4))
+        assert g.reaches(0, 3)
+        assert not g.reaches(3, 0)
+        assert not g.independent(0, 3)
+
+    def test_diamond_independence(self):
+        g = DependencyGraph.from_program(diamond_program())
+        assert g.independent(0, 1)  # the two branches
+        assert not g.independent(0, 2)  # each branch feeds the add
+
+    def test_independent_set_vectorized(self):
+        g = DependencyGraph.from_program(diamond_program())
+        mask = g.independent_set(0, np.array([1, 2]))
+        assert mask.tolist() == [True, False]
+
+    def test_ancestors_descendants(self):
+        g = DependencyGraph.from_program(chain_program(3))
+        assert g.descendants(0).tolist() == [1, 2]
+        assert g.ancestors(2).tolist() == [0, 1]
+
+    def test_edge_must_be_forward(self):
+        g = DependencyGraph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(2, 1)
+
+    def test_duplicate_definition_rejected(self):
+        p = chain_program(2)
+        p.instructions.append(p.instructions[-1])
+        with pytest.raises(ValueError):
+            DependencyGraph.from_program(p)
+
+
+class TestVerifySchedulable:
+    def test_valid_order(self):
+        p = chain_program(3)
+        verify_schedulable(p, p.instructions)
+
+    def test_reversed_order_rejected(self):
+        p = chain_program(3)
+        with pytest.raises(ValueError):
+            verify_schedulable(p, list(reversed(p.instructions)))
+
+    def test_swapping_independent_ok(self):
+        p = diamond_program()
+        order = [p.instructions[1], p.instructions[0], p.instructions[2]]
+        verify_schedulable(p, order)
+
+
+class TestRealModelGraph:
+    def test_forward_a2a_has_no_independent_dw(self, tiny_graph):
+        """dW ops always transitively depend on forward all-to-alls, so the
+        dW pass can never (incorrectly) overlap them -- paper Sec. 4.1."""
+        from repro.ir import InstrKind
+
+        p = tiny_graph.program
+        g = DependencyGraph.from_program(p)
+        instrs = p.instructions
+        fwd_a2a = [
+            i
+            for i in range(tiny_graph.forward_len)
+            if instrs[i].op == "all_to_all"
+        ]
+        dw = np.array(
+            [i for i, ins in enumerate(instrs) if ins.kind == InstrKind.DW]
+        )
+        for a in fwd_a2a:
+            assert not g.independent_set(a, dw).any()
+
+    def test_backward_a2a_has_independent_dw(self, tiny_graph):
+        from repro.ir import InstrKind
+
+        p = tiny_graph.program
+        g = DependencyGraph.from_program(p)
+        instrs = p.instructions
+        bwd_a2a = [
+            i
+            for i in range(tiny_graph.forward_len, len(instrs))
+            if instrs[i].op == "all_to_all"
+        ]
+        dw = np.array(
+            [i for i, ins in enumerate(instrs) if ins.kind == InstrKind.DW]
+        )
+        assert bwd_a2a, "model should contain backward all-to-alls"
+        # the first backward a2a (deepest layer) has later-layer dWs free
+        assert g.independent_set(bwd_a2a[0], dw).any()

@@ -1,0 +1,215 @@
+"""Unit tests for the op registry and shape inference."""
+
+import pytest
+
+from repro.ir import Dim, DType, Stream, TensorType, all_ops, get_op
+from repro.ir.tensor import route_type
+
+
+def t(*shape, dtype=DType.F16, dims=None):
+    return TensorType(tuple(shape), dtype, tuple(dims) if dims else ())
+
+
+HID = (Dim.BATCH, Dim.SEQ, Dim.HIDDEN)
+
+
+class TestRegistry:
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            get_op("not_a_real_op")
+
+    def test_all_ops_nonempty_and_consistent(self):
+        ops = all_ops()
+        assert len(ops) > 30
+        for name, spec in ops.items():
+            assert spec.name == name
+
+    def test_comm_ops_on_comm_stream(self):
+        assert get_op("all_to_all").stream == Stream.COMM
+        assert get_op("allreduce").stream == Stream.COMM
+        assert get_op("matmul").stream == Stream.COMPUTE
+
+
+class TestMatmulFamily:
+    def test_matmul_shapes(self):
+        out = get_op("matmul").infer([t(2, 8, 16), t(16, 32)], {})
+        assert out[0].shape == (2, 8, 32)
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ValueError):
+            get_op("matmul").infer([t(2, 8, 16), t(8, 32)], {})
+
+    def test_matmul_flops(self):
+        spec = get_op("matmul")
+        ins = [t(4, 8, 16), t(16, 32)]
+        outs = spec.infer(ins, {})
+        assert spec.flops(ins, outs, {}) == 2 * 4 * 8 * 16 * 32
+
+    def test_matmul_dx_dw(self):
+        dy, w, x = t(2, 8, 32), t(16, 32), t(2, 8, 16)
+        assert get_op("matmul_dx").infer([dy, w], {})[0].shape == (2, 8, 16)
+        assert get_op("matmul_dw").infer([x, dy], {})[0].shape == (16, 32)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["gelu", "relu", "add", "softmax", "scale"])
+    def test_same_shape(self, op):
+        x = t(2, 4, 8)
+        ins = [x, x] if op == "add" else [x]
+        assert get_op(op).infer(ins, {})[0].shape == (2, 4, 8)
+
+    def test_bias_add(self):
+        assert get_op("bias_add").infer([t(2, 4, 8), t(8)], {})[0].shape == (2, 4, 8)
+
+    def test_bias_grad(self):
+        assert get_op("bias_grad").infer([t(2, 4, 8)], {})[0].shape == (8,)
+
+
+class TestLayerNorm:
+    def test_forward(self):
+        out = get_op("layernorm").infer([t(2, 4, 8), t(8), t(8)], {})
+        assert out[0].shape == (2, 4, 8)
+
+    def test_dw_outputs_two(self):
+        outs = get_op("layernorm_dw").infer([t(2, 4, 8), t(2, 4, 8)], {})
+        assert len(outs) == 2
+        assert outs[0].shape == (8,)
+
+
+class TestAttention:
+    def test_forward(self):
+        x = t(2, 4, 8)
+        assert get_op("attention").infer([x, x, x], {"num_heads": 2})[0].shape == x.shape
+
+    def test_mismatched_qkv(self):
+        with pytest.raises(ValueError):
+            get_op("attention").infer([t(2, 4, 8), t(2, 4, 8), t(2, 4, 16)], {})
+
+    def test_dx_outputs_three(self):
+        x = t(2, 4, 8)
+        outs = get_op("attention_dx").infer([x, x, x, x], {"num_heads": 2})
+        assert len(outs) == 3
+
+    def test_flops_quadratic_in_seq(self):
+        spec = get_op("attention")
+        f1 = spec.flops([t(1, 8, 16)] * 3, [t(1, 8, 16)], {})
+        f2 = spec.flops([t(1, 16, 16)] * 3, [t(1, 16, 16)], {})
+        assert f2 == 4 * f1
+
+
+class TestSplitConcat:
+    def test_split3(self):
+        outs = get_op("split3").infer([t(2, 4, 24)], {})
+        assert len(outs) == 3 and all(o.shape == (2, 4, 8) for o in outs)
+
+    def test_split3_indivisible(self):
+        with pytest.raises(ValueError):
+            get_op("split3").infer([t(2, 4, 10)], {})
+
+    def test_split_chunk_uneven(self):
+        outs = [
+            get_op("split_chunk").infer(
+                [t(7, 3)], {"axis": 0, "parts": 3, "index": i}
+            )[0]
+            for i in range(3)
+        ]
+        assert [o.shape[0] for o in outs] == [3, 2, 2]
+
+    def test_concat(self):
+        out = get_op("concat").infer(
+            [t(3, 4), t(2, 4)], {"axis": 0}
+        )
+        assert out[0].shape == (5, 4)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ValueError):
+            get_op("concat").infer([t(3, 4), t(2, 5)], {"axis": 0})
+
+
+class TestMoEOps:
+    def test_routing(self):
+        out = get_op("routing").infer(
+            [t(2, 4, 8)], {"gate_type": "switch", "capacity": 4}
+        )
+        assert out[0].shape == (8, 3)
+
+    def test_routing_partial(self):
+        cap = TensorType((8,), DType.I32, (Dim.EXPERT,))
+        outs = get_op("routing_partial").infer(
+            [t(2, 4, 8), cap], {"gate_type": "switch", "capacity": 4}
+        )
+        assert outs[0].shape == (8, 3)
+        assert outs[1] == cap
+
+    def test_moe_dispatch(self):
+        out = get_op("moe_dispatch").infer(
+            [t(2, 4, 16, dims=HID), route_type(8)],
+            {"num_experts": 4, "capacity": 3},
+        )
+        assert out[0].shape == (4, 3, 16)
+        assert out[0].dims == (Dim.EXPERT, Dim.CAPACITY, Dim.HIDDEN)
+
+    def test_moe_combine(self):
+        buf = get_op("moe_dispatch").infer(
+            [t(2, 4, 16, dims=HID), route_type(8)],
+            {"num_experts": 4, "capacity": 3},
+        )[0]
+        out = get_op("moe_combine").infer(
+            [buf, route_type(8), t(2, 4, 4)], {}
+        )
+        assert out[0].shape == (2, 4, 16)
+
+    def test_expert_ffn_roundtrip_shape(self):
+        buf = TensorType((4, 3, 16), DType.F16, (Dim.EXPERT, Dim.CAPACITY, Dim.HIDDEN))
+        w1, b1 = t(2, 16, 64), t(2, 64)
+        w2, b2 = t(2, 64, 16), t(2, 16)
+        out = get_op("expert_ffn").infer([buf, w1, b1, w2, b2], {})
+        assert out[0].shape == buf.shape
+
+    def test_expert_ffn_dw_outputs(self):
+        buf = TensorType((4, 3, 16), DType.F16, (Dim.EXPERT, Dim.CAPACITY, Dim.HIDDEN))
+        w1, b1 = t(2, 16, 64), t(2, 64)
+        w2, b2 = t(2, 64, 16), t(2, 16)
+        outs = get_op("expert_ffn_dw").infer([buf, buf, w1, b1, w2], {})
+        assert [o.shape for o in outs] == [
+            (2, 16, 64),
+            (2, 64),
+            (2, 64, 16),
+            (2, 16),
+        ]
+
+    def test_route_slice(self):
+        out = get_op("route_slice").infer(
+            [route_type(16)], {"start": 4, "stop": 8}
+        )
+        assert out[0].shape == (4, 3)
+        with pytest.raises(ValueError):
+            get_op("route_slice").infer([route_type(16)], {"start": 8, "stop": 8})
+
+    def test_route_concat(self):
+        out = get_op("route_concat").infer([route_type(4), route_type(6)], {})
+        assert out[0].shape == (10, 3)
+
+
+class TestCommOps:
+    def test_all_to_all_preserves_shape(self):
+        buf = TensorType((4, 3, 16), DType.F16)
+        assert get_op("all_to_all").infer([buf], {})[0] == buf
+
+    def test_a2a_bytes(self):
+        buf = TensorType((4, 3, 16), DType.F16)
+        spec = get_op("all_to_all")
+        assert spec.membytes([buf], [buf], {}) == buf.nbytes
+
+
+class TestOptimizerOps:
+    def test_sgd_update(self):
+        w = t(8, 8)
+        outs = get_op("sgd_update").infer([w, w, w], {"lr": 0.1, "momentum": 0.9})
+        assert len(outs) == 2 and all(o.shape == (8, 8) for o in outs)
+
+    def test_cross_entropy_scalar(self):
+        logits = t(2, 4, 64)
+        labels = TensorType((2, 4), DType.I32)
+        out = get_op("cross_entropy").infer([logits, labels], {})
+        assert out[0].shape == ()

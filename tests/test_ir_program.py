@@ -1,0 +1,117 @@
+"""Unit tests for Program construction and manipulation."""
+
+import pytest
+
+from repro.ir import Dim, DType, InstrKind, Program, TensorType, validate
+from repro.ir.validate import ValidationError
+
+
+def make_linear_program():
+    p = Program("lin")
+    x = p.add_input(TensorType((4, 8), DType.F16), "x")
+    w = p.add_param(TensorType((8, 16), DType.F16), "w")
+    (y,) = p.add("matmul", [x.id, w.id])
+    p.outputs.append(y.id)
+    return p, x, w, y
+
+
+class TestProgramBasics:
+    def test_add_infers_types(self):
+        p, x, w, y = make_linear_program()
+        assert p.type_of(y.id).shape == (4, 16)
+        assert len(p) == 1
+
+    def test_kind_defaults(self):
+        p, x, w, y = make_linear_program()
+        assert p.instructions[0].kind == InstrKind.FORWARD
+        (z,) = p.add("allreduce", [y.id])
+        assert p.instructions[-1].kind == InstrKind.COMM
+
+    def test_producers_consumers(self):
+        p, x, w, y = make_linear_program()
+        (z,) = p.add("gelu", [y.id])
+        prods = p.producers()
+        cons = p.consumers()
+        assert prods[y.id].op == "matmul"
+        assert [c.op for c in cons[y.id]] == ["gelu"]
+
+    def test_count_ops(self):
+        p, x, w, y = make_linear_program()
+        p.add("gelu", [y.id])
+        p.add("gelu", [p.instructions[-1].outputs[0]])
+        assert p.count_ops() == {"matmul": 1, "gelu": 2}
+
+    def test_clone_independent(self):
+        p, x, w, y = make_linear_program()
+        c = p.clone()
+        c.add("gelu", [y.id])
+        assert len(c) == 2 and len(p) == 1
+        # cloned programs allocate fresh non-conflicting value ids
+        v = c.new_value(TensorType((1,), DType.F16))
+        assert v.id not in p.values
+
+    def test_dump_readable(self):
+        p, *_ = make_linear_program()
+        text = p.dump()
+        assert "matmul" in text and "lin" in text
+
+    def test_replace_order_rejects_non_permutation(self):
+        p, x, w, y = make_linear_program()
+        p.add("gelu", [y.id])
+        with pytest.raises(ValueError):
+            p.replace_order(p.instructions[:1])
+
+
+class TestRemapUses:
+    def test_remap_after_position(self):
+        p, x, w, y = make_linear_program()
+        (g1,) = p.add("gelu", [y.id])
+        (g2,) = p.add("gelu", [y.id])
+        (alt,) = p.add("relu", [y.id])
+        # remap uses of y -> alt, but only from position 3 on (i.e. nothing)
+        p.remap_uses({y.id: alt.id}, start=len(p.instructions))
+        assert p.instructions[1].inputs == (y.id,)
+
+    def test_remap_updates_outputs_and_grads(self):
+        p, x, w, y = make_linear_program()
+        (alt,) = p.add("gelu", [y.id])
+        p.grads[w.id] = y.id
+        p.remap_uses({y.id: alt.id}, start=0)
+        assert p.outputs == [alt.id]
+        assert p.grads[w.id] == alt.id
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        p, *_ = make_linear_program()
+        validate(p)
+
+    def test_use_before_def_rejected(self):
+        p, x, w, y = make_linear_program()
+        (g,) = p.add("gelu", [y.id])
+        p.instructions.reverse()
+        with pytest.raises(ValidationError):
+            validate(p)
+
+    def test_unknown_value_rejected(self):
+        p, x, w, y = make_linear_program()
+        bad = p.instructions[0].with_(inputs=(9999, w.id))
+        p.instructions[0] = bad
+        with pytest.raises(ValidationError):
+            validate(p)
+
+    def test_type_mismatch_rejected(self):
+        p, x, w, y = make_linear_program()
+        # lie about the output type
+        lying = p.new_value(TensorType((1, 1), DType.F16), "bad")
+        p.instructions[0] = p.instructions[0].with_(outputs=(lying.id,))
+        p.outputs = [lying.id]
+        with pytest.raises(ValidationError):
+            validate(p)
+
+    def test_ssa_violation_rejected(self):
+        p, x, w, y = make_linear_program()
+        dup = p.instructions[0].with_()
+        p.instructions.append(dup)  # redefines y
+        with pytest.raises(ValidationError):
+            validate(p)

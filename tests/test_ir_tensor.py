@@ -1,0 +1,104 @@
+"""Unit tests for IR tensor types."""
+
+import pytest
+
+from repro.ir import (
+    AXIS_IRREGULAR,
+    NOT_PARTITIONED,
+    Dim,
+    DType,
+    TensorType,
+    axis_name,
+    route_type,
+)
+from repro.ir.tensor import is_route_type
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.F32.nbytes == 4
+        assert DType.F16.nbytes == 2
+        assert DType.I32.nbytes == 4
+        assert DType.I64.nbytes == 8
+        assert DType.BOOL.nbytes == 1
+
+
+class TestTensorType:
+    def test_basic_properties(self):
+        t = TensorType((2, 3, 4), DType.F16, (Dim.BATCH, Dim.SEQ, Dim.HIDDEN))
+        assert t.rank == 3
+        assert t.numel == 24
+        assert t.nbytes == 48
+
+    def test_default_dims(self):
+        t = TensorType((5, 6))
+        assert t.dims == (Dim.GENERIC, Dim.GENERIC)
+
+    def test_dims_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((2, 3), DType.F16, (Dim.BATCH,))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((2, -1))
+
+    def test_dim_index(self):
+        t = TensorType((2, 3, 4), DType.F16, (Dim.BATCH, Dim.SEQ, Dim.HIDDEN))
+        assert t.dim_index(Dim.SEQ) == 1
+        assert t.has_dim(Dim.HIDDEN)
+        assert not t.has_dim(Dim.EXPERT)
+        with pytest.raises(ValueError):
+            t.dim_index(Dim.EXPERT)
+
+    def test_with_shape(self):
+        t = TensorType((2, 3), DType.F32)
+        t2 = t.with_shape((4, 5))
+        assert t2.shape == (4, 5)
+        assert t2.dtype == DType.F32
+        with pytest.raises(ValueError):
+            t.with_shape((1, 2, 3))
+
+    def test_split_even(self):
+        t = TensorType((8, 3), DType.F16)
+        chunks = [t.split(0, 4, i) for i in range(4)]
+        assert all(c.shape == (2, 3) for c in chunks)
+
+    def test_split_uneven_follows_array_split(self):
+        t = TensorType((7, 3), DType.F16)
+        sizes = [t.split(0, 3, i).shape[0] for i in range(3)]
+        assert sizes == [3, 2, 2]
+        assert sum(sizes) == 7
+
+    def test_split_invalid(self):
+        t = TensorType((4, 3), DType.F16)
+        with pytest.raises(ValueError):
+            t.split(2, 2, 0)
+        with pytest.raises(ValueError):
+            t.split(0, 8, 0)
+
+    def test_scalar(self):
+        t = TensorType((), DType.F32)
+        assert t.rank == 0
+        assert t.numel == 1
+
+
+class TestRouteType:
+    def test_route_type_detected(self):
+        t = route_type(100)
+        assert t.shape == (100, 3)
+        assert is_route_type(t)
+
+    def test_non_route_types_rejected(self):
+        assert not is_route_type(TensorType((100, 3), DType.F16))
+        assert not is_route_type(TensorType((100, 4), DType.I32))
+        assert not is_route_type(
+            TensorType((100, 3), DType.I32, (Dim.BATCH, Dim.GENERIC))
+        )
+
+
+class TestAxisName:
+    def test_names(self):
+        assert axis_name(NOT_PARTITIONED) == "NP"
+        assert axis_name(AXIS_IRREGULAR) == "A_irr"
+        assert axis_name(0) == "0"
+        assert axis_name(2) == "2"

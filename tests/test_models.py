@@ -1,0 +1,115 @@
+"""Unit tests for model configs and graph builders."""
+
+import pytest
+
+from repro import GPT2MoEConfig, build_training_graph
+from repro.ir import InstrKind, validate
+from repro.models import (
+    BATCH_DEPENDENT_GATES,
+    BATCH_PREFIX_STABLE_GATES,
+    RunConfig,
+    build_forward,
+)
+
+
+class TestConfig:
+    def test_presets_match_paper(self):
+        s = GPT2MoEConfig.gpt2_s_moe()
+        l = GPT2MoEConfig.gpt2_l_moe()
+        assert (s.num_layers, s.hidden) == (12, 768)
+        assert (l.num_layers, l.hidden) == (24, 1024)
+
+    def test_every_other_layer_is_moe(self):
+        cfg = GPT2MoEConfig.gpt2_s_moe()
+        moe_layers = [i for i in range(cfg.num_layers) if cfg.is_moe_layer(i)]
+        assert moe_layers == [1, 3, 5, 7, 9, 11]
+        assert cfg.num_moe_layers == 6
+
+    def test_two_experts_per_gpu(self):
+        cfg = GPT2MoEConfig.gpt2_s_moe()
+        assert cfg.num_experts(16) == 32
+        assert cfg.num_experts(64) == 128
+
+    def test_capacity_formula(self):
+        cfg = GPT2MoEConfig.gpt2_s_moe(capacity_factor=1.25)
+        # 24*512 tokens, 32 experts: ceil(1.25 * 12288 / 32) = 480
+        assert cfg.capacity(24, 512, 16) == 480
+
+    def test_capacity_scales_with_topk(self):
+        cfg = GPT2MoEConfig.gpt2_s_moe(gate="topk", top_k=2)
+        assert cfg.capacity(24, 512, 16) == 960
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            GPT2MoEConfig.tiny(gate="nonsense")
+
+    def test_gate_classification(self):
+        assert "switch" in BATCH_PREFIX_STABLE_GATES
+        assert "bpr" in BATCH_DEPENDENT_GATES
+        assert GPT2MoEConfig.tiny(gate="switch").gate_is_batch_prefix_stable
+        assert not GPT2MoEConfig.tiny(gate="bpr").gate_is_batch_prefix_stable
+
+    def test_run_config(self):
+        rc = RunConfig(GPT2MoEConfig.gpt2_s_moe(), 24, 512, 16)
+        assert rc.num_experts == 32
+        assert rc.tokens_per_gpu == 12288
+
+    def test_with_gate(self):
+        cfg = GPT2MoEConfig.tiny().with_gate("bpr")
+        assert cfg.gate == "bpr"
+
+
+class TestForwardBuilder:
+    def test_structure(self, tiny_forward):
+        p = tiny_forward.program
+        validate(p)
+        counts = p.count_ops()
+        assert counts["all_to_all"] == 2 * tiny_forward.cfg.num_moe_layers
+        assert counts["expert_ffn"] == tiny_forward.cfg.num_moe_layers
+        assert counts["attention"] == tiny_forward.cfg.num_layers
+        assert counts["cross_entropy"] == 1
+
+    def test_moe_layer_info_consistent(self, tiny_forward):
+        p = tiny_forward.program
+        by_uid = {i.uid: i for i in p.instructions}
+        for ml in tiny_forward.moe_layers:
+            assert by_uid[ml.routing_uid].op == "routing"
+            assert by_uid[ml.a2a_first_uid].attrs["direction"] == "scatter"
+            assert by_uid[ml.a2a_second_uid].attrs["direction"] == "gather"
+            assert by_uid[ml.expert_uid].op == "expert_ffn"
+
+    def test_seq_too_long_rejected(self, tiny_cfg):
+        with pytest.raises(ValueError):
+            build_forward(tiny_cfg, batch=2, seq=tiny_cfg.max_seq + 1, num_gpus=2)
+
+    def test_expert_params_marked(self, tiny_forward):
+        p = tiny_forward.program
+        names = {p.values[v].name for v in tiny_forward.expert_params}
+        assert all(".w1" in n or ".b1" in n or ".w2" in n or ".b2" in n for n in names)
+
+
+class TestTrainingGraphBuilder:
+    def test_full_graph_valid(self, tiny_graph):
+        validate(tiny_graph.program)
+
+    def test_kind_partition(self, tiny_graph):
+        p = tiny_graph.program
+        fwd = p.instructions[: tiny_graph.forward_len]
+        assert all(
+            i.kind in (InstrKind.FORWARD, InstrKind.COMM) for i in fwd
+        )
+        kinds_after = {i.kind for i in p.instructions[tiny_graph.forward_len :]}
+        assert InstrKind.DW in kinds_after
+
+    def test_no_sync_single_gpu(self, tiny_cfg):
+        g = build_training_graph(tiny_cfg, batch=4, seq=8, num_gpus=1)
+        assert not any(i.op == "allreduce" for i in g.program.instructions)
+
+    def test_gpt2_s_instruction_count_scales(self):
+        g12 = build_training_graph(
+            GPT2MoEConfig.gpt2_s_moe(), batch=2, seq=8, num_gpus=2
+        )
+        g24 = build_training_graph(
+            GPT2MoEConfig.gpt2_l_moe(), batch=2, seq=8, num_gpus=2
+        )
+        assert len(g24.program) > 1.7 * len(g12.program)

@@ -1,0 +1,178 @@
+"""Tests for the distributed MoE layer and micro-batched execution --
+the paper's mathematical-equivalence claims (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.moe import (
+    DistributedMoELayer,
+    forward_microbatched_capacity_passing,
+    forward_microbatched_naive,
+)
+
+
+def make_layer(gate="switch", g=2, el=2, h=8, f=16, cf=1.0, k=1, seed=0):
+    return DistributedMoELayer(
+        num_devices=g,
+        experts_per_device=el,
+        hidden=h,
+        ffn_hidden=f,
+        gate_type=gate,
+        capacity_factor=cf,
+        top_k=k,
+        seed=seed,
+    )
+
+
+def make_inputs(layer, t=24, seed=42):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((t, layer.hidden)) for _ in range(layer.g)]
+
+
+class TestForward:
+    def test_shapes(self):
+        layer = make_layer()
+        xs = make_inputs(layer)
+        ys, cache = layer.forward(xs)
+        assert all(y.shape == x.shape for x, y in zip(xs, ys))
+
+    def test_deterministic(self):
+        layer = make_layer()
+        xs = make_inputs(layer)
+        y1, _ = layer.forward(xs)
+        y2, _ = layer.forward(xs)
+        for a, b in zip(y1, y2):
+            assert np.array_equal(a, b)
+
+    def test_wrong_device_count_rejected(self):
+        layer = make_layer()
+        with pytest.raises(ValueError):
+            layer.forward(make_inputs(layer)[:1])
+
+    def test_dropped_tokens_get_zero_output(self):
+        layer = make_layer(cf=0.25)  # scarce capacity forces drops
+        xs = make_inputs(layer)
+        ys, cache = layer.forward(xs)
+        for d in range(layer.g):
+            dropped = cache.infos[d].dropped_tokens()
+            assert len(dropped) > 0
+            assert np.allclose(ys[d][dropped], 0.0)
+
+    @pytest.mark.parametrize("gate", ["switch", "topk", "bpr", "random"])
+    def test_all_gates_run(self, gate):
+        layer = make_layer(gate=gate, k=2 if gate == "topk" else 1)
+        ys, _ = layer.forward(make_inputs(layer))
+        assert all(np.isfinite(y).all() for y in ys)
+
+
+class TestBackward:
+    def test_input_gradient_finite_difference(self):
+        layer = make_layer()
+        xs = make_inputs(layer, t=16)
+        ys, cache = layer.forward(xs)
+        rng = np.random.default_rng(3)
+        dys = [rng.standard_normal(y.shape) for y in ys]
+        dxs, grads = layer.backward(dys, cache)
+        eps = 1e-6
+        idx = (2, 3)
+        orig = xs[0][idx]
+        xs[0][idx] = orig + eps
+        yp, _ = layer.forward(xs)
+        xs[0][idx] = orig - eps
+        ym, _ = layer.forward(xs)
+        xs[0][idx] = orig
+        num = sum(((p - m) / (2 * eps) * d).sum() for p, m, d in zip(yp, ym, dys))
+        assert np.isclose(num, dxs[0][idx], atol=1e-7)
+
+    def test_weight_gradients_finite_difference(self):
+        layer = make_layer()
+        xs = make_inputs(layer, t=16)
+        ys, cache = layer.forward(xs)
+        rng = np.random.default_rng(4)
+        dys = [rng.standard_normal(y.shape) for y in ys]
+        _, grads = layer.backward(dys, cache)
+        eps = 1e-6
+        checks = [
+            (layer.params.w1[1], grads["w1"][1], (0, 1, 2)),
+            (layer.params.w2[0], grads["w2"][0], (1, 3, 2)),
+            (layer.params.b1[0], grads["b1"][0], (1, 5)),
+            (layer.params.wg, sum(grads["wg"]), (2, 1)),
+        ]
+        for arr, grad, idx in checks:
+            orig = arr[idx]
+            arr[idx] = orig + eps
+            yp, _ = layer.forward(xs)
+            arr[idx] = orig - eps
+            ym, _ = layer.forward(xs)
+            arr[idx] = orig
+            num = sum(
+                ((p - m) / (2 * eps) * d).sum() for p, m, d in zip(yp, ym, dys)
+            )
+            assert np.isclose(num, grad[idx], atol=1e-6)
+
+
+class TestMicrobatchEquivalence:
+    """Paper Fig. 5: capacity passing is exact, naive micro-batching is not."""
+
+    @pytest.mark.parametrize("gate", ["switch", "topk", "random"])
+    @pytest.mark.parametrize("parts", [2, 3, 4])
+    def test_capacity_passing_bit_exact(self, gate, parts):
+        layer = make_layer(gate=gate, cf=1.0, k=2 if gate == "topk" else 1)
+        xs = make_inputs(layer)
+        ys, _ = layer.forward(xs)
+        trace = forward_microbatched_capacity_passing(layer, xs, parts)
+        for d in range(layer.g):
+            assert np.allclose(trace.outputs[d], ys[d], atol=1e-12)
+
+    def test_capacity_passing_same_token_dropping(self):
+        layer = make_layer(cf=0.5)
+        xs = make_inputs(layer)
+        _, cache = layer.forward(xs)
+        trace = forward_microbatched_capacity_passing(layer, xs, 3)
+        for d in range(layer.g):
+            # union of per-chunk drops == unpartitioned drops
+            chunk_tokens = np.cumsum(
+                [0] + [np.array_split(xs[d], 3)[p].shape[0] for p in range(3)]
+            )
+            dropped = []
+            for p in range(3):
+                dd = trace.infos[p][d].dropped_tokens() + chunk_tokens[p]
+                dropped.extend(dd.tolist())
+            assert sorted(dropped) == cache.infos[d].dropped_tokens().tolist()
+
+    def test_naive_microbatching_drops_extra_tokens(self):
+        """Fig. 5b: direct capacity scaling changes token dropping.
+
+        Naive chunking can never drop *fewer* tokens than unpartitioned
+        execution in aggregate expectation, and for some batches it drops
+        strictly more (the paper's 3/4C vs 1/4C example).
+        """
+        layer = make_layer(cf=1.0, seed=5)
+        strictly_more = False
+        for seed in range(8):
+            xs = make_inputs(layer, t=30, seed=seed)
+            _, cache = layer.forward(xs)
+            trace = forward_microbatched_naive(layer, xs, 3)
+            full_drops = sum(
+                len(cache.infos[d].dropped_tokens()) for d in range(layer.g)
+            )
+            naive_drops = sum(
+                len(trace.infos[p][d].dropped_tokens())
+                for d in range(layer.g)
+                for p in range(3)
+            )
+            if naive_drops > full_drops:
+                strictly_more = True
+        assert strictly_more, "expected extra dropping on at least one batch"
+
+    def test_bpr_capacity_passing_rejected(self):
+        layer = make_layer(gate="bpr")
+        xs = make_inputs(layer)
+        with pytest.raises(ValueError):
+            forward_microbatched_capacity_passing(layer, xs, 2)
+
+    def test_invalid_parts_rejected(self):
+        layer = make_layer()
+        xs = make_inputs(layer, t=8)
+        with pytest.raises(ValueError):
+            forward_microbatched_capacity_passing(layer, xs, 9)

@@ -1,0 +1,191 @@
+"""Finite-difference checks for the dense numpy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import FORWARD_KERNELS
+
+
+def run(op, ins, attrs=None):
+    return FORWARD_KERNELS[op](ins, attrs or {})
+
+
+def fd_check(op, dx_op, ins, attrs, grad_pos, dx_inputs, idx, atol=1e-6):
+    """Compare the registered backward kernel against finite differences.
+
+    ``dx_inputs`` builds the backward kernel's inputs from (dy, ins, y).
+    ``grad_pos`` selects which forward input is differentiated.
+    """
+    rng = np.random.default_rng(0)
+    y = run(op, ins, attrs)[0]
+    dy = rng.standard_normal(y.shape)
+    grads = run(dx_op, dx_inputs(dy, ins, y), attrs)
+    g = grads[0] if not isinstance(grad_pos, tuple) else grads[grad_pos[1]]
+    pos = grad_pos if not isinstance(grad_pos, tuple) else grad_pos[0]
+    eps = 1e-6
+    arr = ins[pos]
+    orig = arr[idx]
+    arr[idx] = orig + eps
+    yp = run(op, ins, attrs)[0]
+    arr[idx] = orig - eps
+    ym = run(op, ins, attrs)[0]
+    arr[idx] = orig
+    num = ((yp - ym) / (2 * eps) * dy).sum()
+    assert np.isclose(num, g[idx], atol=atol), f"{op}: {num} vs {g[idx]}"
+
+
+class TestDenseKernels:
+    def test_matmul_grads(self, rng):
+        x, w = rng.standard_normal((2, 4, 8)), rng.standard_normal((8, 6))
+        fd_check(
+            "matmul", "matmul_dx", [x, w], {}, 0,
+            lambda dy, ins, y: [dy, ins[1]], (1, 2, 3),
+        )
+        y = run("matmul", [x, w])[0]
+        dy = rng.standard_normal(y.shape)
+        dw = run("matmul_dw", [x, dy])[0]
+        eps = 1e-6
+        orig = w[3, 2]
+        w[3, 2] = orig + eps
+        yp = run("matmul", [x, w])[0]
+        w[3, 2] = orig - eps
+        ym = run("matmul", [x, w])[0]
+        w[3, 2] = orig
+        assert np.isclose(((yp - ym) / (2 * eps) * dy).sum(), dw[3, 2], atol=1e-7)
+
+    def test_gelu_grad(self, rng):
+        x = rng.standard_normal((3, 5))
+        fd_check("gelu", "gelu_dx", [x], {}, 0, lambda dy, ins, y: [dy, ins[0]], (1, 2))
+
+    def test_relu_grad(self, rng):
+        x = rng.standard_normal((3, 5)) + 0.1
+        fd_check("relu", "relu_dx", [x], {}, 0, lambda dy, ins, y: [dy, ins[0]], (2, 4))
+
+    def test_softmax_grad(self, rng):
+        x = rng.standard_normal((3, 6))
+        fd_check("softmax", "softmax_dx", [x], {}, 0, lambda dy, ins, y: [dy, y], (1, 3))
+
+    def test_layernorm_dx(self, rng):
+        x = rng.standard_normal((2, 3, 8))
+        gamma, beta = rng.standard_normal(8), rng.standard_normal(8)
+        fd_check(
+            "layernorm", "layernorm_dx", [x, gamma, beta], {}, 0,
+            lambda dy, ins, y: [dy, ins[0], ins[1]], (1, 2, 5), atol=1e-5,
+        )
+
+    def test_layernorm_dw(self, rng):
+        x = rng.standard_normal((2, 3, 8))
+        gamma, beta = rng.standard_normal(8), rng.standard_normal(8)
+        y = run("layernorm", [x, gamma, beta])[0]
+        dy = rng.standard_normal(y.shape)
+        dgamma, dbeta = run("layernorm_dw", [dy, x])
+        eps = 1e-6
+        for arr, grad, idx in [(gamma, dgamma, (3,)), (beta, dbeta, (5,))]:
+            orig = arr[idx]
+            arr[idx] = orig + eps
+            yp = run("layernorm", [x, gamma, beta])[0]
+            arr[idx] = orig - eps
+            ym = run("layernorm", [x, gamma, beta])[0]
+            arr[idx] = orig
+            assert np.isclose(((yp - ym) / (2 * eps) * dy).sum(), grad[idx], atol=1e-6)
+
+    def test_attention_grads(self, rng):
+        q = rng.standard_normal((2, 4, 8))
+        k = rng.standard_normal((2, 4, 8))
+        v = rng.standard_normal((2, 4, 8))
+        attrs = {"num_heads": 2, "causal": True}
+        y = run("attention", [q, k, v], attrs)[0]
+        dy = rng.standard_normal(y.shape)
+        dq, dk, dv = run("attention_dx", [dy, q, k, v], attrs)
+        eps = 1e-6
+        for arr, grad, idx in [(q, dq, (1, 2, 3)), (k, dk, (0, 1, 4)), (v, dv, (1, 3, 7))]:
+            orig = arr[idx]
+            arr[idx] = orig + eps
+            yp = run("attention", [q, k, v], attrs)[0]
+            arr[idx] = orig - eps
+            ym = run("attention", [q, k, v], attrs)[0]
+            arr[idx] = orig
+            assert np.isclose(((yp - ym) / (2 * eps) * dy).sum(), grad[idx], atol=1e-6)
+
+    def test_attention_causality(self, rng):
+        """Output at position t must not depend on inputs at positions > t."""
+        q = rng.standard_normal((1, 6, 8))
+        k = rng.standard_normal((1, 6, 8))
+        v = rng.standard_normal((1, 6, 8))
+        attrs = {"num_heads": 2, "causal": True}
+        y1 = run("attention", [q, k, v], attrs)[0]
+        k2, v2 = k.copy(), v.copy()
+        k2[0, 5] += 10.0
+        v2[0, 5] -= 3.0
+        y2 = run("attention", [q, k2, v2], attrs)[0]
+        assert np.allclose(y1[0, :5], y2[0, :5])
+        assert not np.allclose(y1[0, 5], y2[0, 5])
+
+    def test_cross_entropy_grad(self, rng):
+        logits = rng.standard_normal((2, 3, 10))
+        labels = rng.integers(0, 10, size=(2, 3))
+        loss = run("cross_entropy", [logits, labels])[0]
+        assert loss.shape == ()
+        dx = run("cross_entropy_dx", [logits, labels])[0]
+        eps = 1e-6
+        idx = (1, 2, 4)
+        orig = logits[idx]
+        logits[idx] = orig + eps
+        lp = run("cross_entropy", [logits, labels])[0]
+        logits[idx] = orig - eps
+        lm = run("cross_entropy", [logits, labels])[0]
+        logits[idx] = orig
+        assert np.isclose((lp - lm) / (2 * eps), dx[idx], atol=1e-7)
+
+    def test_embedding_and_grad(self, rng):
+        table = rng.standard_normal((10, 4))
+        ids = np.array([[1, 3], [3, 9]])
+        y = run("embedding", [table, ids])[0]
+        assert y.shape == (2, 2, 4)
+        assert np.allclose(y[0, 1], table[3])
+        dy = rng.standard_normal(y.shape)
+        dtable = run("embedding_dw", [dy, ids], {"vocab_size": 10})[0]
+        # id 3 appears twice: grads accumulate
+        assert np.allclose(dtable[3], dy[0, 1] + dy[1, 0])
+        assert np.allclose(dtable[0], 0.0)
+
+    def test_split_concat_roundtrip(self, rng):
+        x = rng.standard_normal((7, 4))
+        chunks = [
+            run("split_chunk", [x], {"axis": 0, "parts": 3, "index": i})[0]
+            for i in range(3)
+        ]
+        back = run("concat", chunks, {"axis": 0})[0]
+        assert np.array_equal(back, x)
+
+    def test_split3_concat_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 12))
+        q, k, v = run("split3", [x])
+        back = run("concat", [q, k, v], {"axis": 2})[0]
+        assert np.array_equal(back, x)
+
+    def test_sgd_update(self):
+        w = np.ones(4)
+        g = np.full(4, 2.0)
+        m = np.full(4, 1.0)
+        w2, m2 = run("sgd_update", [w, g, m], {"lr": 0.1, "momentum": 0.5})
+        assert np.allclose(m2, 0.5 * 1.0 + 2.0)
+        assert np.allclose(w2, 1.0 - 0.1 * m2)
+
+    def test_accumulate(self, rng):
+        xs = [rng.standard_normal((3, 3)) for _ in range(4)]
+        out = run("accumulate", xs)[0]
+        assert np.allclose(out, sum(xs))
+
+
+class TestRouteKernels:
+    def test_route_slice_concat_roundtrip(self, rng):
+        from repro.moe import route_switch
+        from repro.moe.layer import softmax
+
+        probs = softmax(rng.standard_normal((20, 4)))
+        info, _ = route_switch(probs, capacity=6)
+        a = run("route_slice", [info], {"start": 0, "stop": 8})[0]
+        b = run("route_slice", [info], {"start": 8, "stop": 20})[0]
+        back = run("route_concat", [a, b])[0]
+        assert back == info

@@ -1,0 +1,215 @@
+"""Unit tests for the routing algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.moe import (
+    route_bpr,
+    route_expert_choice,
+    route_hash,
+    route_random,
+    route_switch,
+    route_tokens,
+    topk_choices,
+)
+from repro.moe.layer import softmax
+
+
+def make_probs(t=32, e=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return softmax(rng.standard_normal((t, e)))
+
+
+def assert_valid(info):
+    """Structural invariants every routing result must satisfy."""
+    assert info.token_idx.shape == info.expert_idx.shape == info.slot_idx.shape
+    assert (info.slot_idx >= 0).all() and (info.slot_idx < info.capacity).all()
+    assert (info.expert_idx >= 0).all() and (info.expert_idx < info.num_experts).all()
+    assert (info.token_idx >= 0).all() and (info.token_idx < info.num_tokens).all()
+    # a capacity slot may hold at most one token
+    pairs = set(zip(info.expert_idx.tolist(), info.slot_idx.tolist()))
+    assert len(pairs) == len(info.expert_idx)
+    # capacity respected
+    assert (info.expert_counts() <= info.capacity).all()
+
+
+class TestTopKChoices:
+    def test_orders_by_probability(self):
+        probs = np.array([[0.1, 0.6, 0.3]])
+        assert topk_choices(probs, 2).tolist() == [[1, 2]]
+
+    def test_tie_break_deterministic(self):
+        probs = np.array([[0.4, 0.4, 0.2]])
+        assert topk_choices(probs, 1).tolist() == [[0]]
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            topk_choices(make_probs(4, 3), 4)
+
+
+class TestSwitchRouting:
+    def test_structure(self):
+        info, counts = route_switch(make_probs(), capacity=10)
+        assert_valid(info)
+        assert (counts == info.expert_counts()).all()
+
+    def test_everyone_routed_with_ample_capacity(self):
+        info, _ = route_switch(make_probs(32, 4), capacity=32)
+        assert len(info.token_idx) == 32
+        assert len(info.dropped_tokens()) == 0
+
+    def test_argmax_assignment(self):
+        probs = make_probs(16, 4)
+        info, _ = route_switch(probs, capacity=16)
+        assert (info.expert_idx == probs.argmax(axis=1)[info.token_idx]).all()
+
+    def test_fcfs_dropping(self):
+        """With capacity 1, only the first token per expert survives."""
+        probs = np.array([[0.9, 0.1], [0.8, 0.2], [0.2, 0.8]])
+        info, _ = route_switch(probs, capacity=1)
+        kept = set(info.token_idx.tolist())
+        assert kept == {0, 2}  # token 1 dropped (expert 0 full)
+        assert info.dropped_tokens().tolist() == [1]
+
+    def test_prefix_stability(self):
+        """Routing a prefix with carried counts == routing the full batch."""
+        probs = make_probs(40, 4, seed=3)
+        full, _ = route_switch(probs, capacity=8)
+        a, counts = route_switch(probs[:25], capacity=8)
+        b, _ = route_switch(probs[25:], capacity=8, capacity_counts=counts)
+        merged = np.concatenate(
+            [
+                np.stack([a.token_idx, a.expert_idx, a.slot_idx], 1),
+                np.stack([b.token_idx + 25, b.expert_idx, b.slot_idx], 1),
+            ]
+        )
+        merged = merged[np.lexsort((merged[:, 2], merged[:, 1], merged[:, 0]))]
+        assert np.array_equal(merged, full.sorted_tuples())
+
+
+class TestTopKRouting:
+    def test_k2_doubles_assignments(self):
+        probs = make_probs(16, 4)
+        info, _ = route_switch(probs, capacity=16, k=2)
+        assert len(info.token_idx) == 32
+        assert_valid(info)
+
+    def test_token_major_priority(self):
+        """Tokens claim capacity for all k choices in token order (the
+        batch-prefix-stable order the capacity-passing gate requires)."""
+        probs = np.array(
+            [[0.5, 0.3, 0.2], [0.45, 0.35, 0.2], [0.1, 0.6, 0.3]]
+        )
+        info, _ = route_switch(probs, capacity=1, k=2)
+        pairs = set(zip(info.token_idx.tolist(), info.expert_idx.tolist()))
+        # t0 claims e0 and e1; t1 finds both full; t2 gets only e2
+        assert (0, 0) in pairs and (0, 1) in pairs
+        assert (1, 0) not in pairs and (1, 1) not in pairs
+        assert (2, 2) in pairs and (2, 1) not in pairs
+
+    def test_topk_prefix_stability(self):
+        probs = make_probs(40, 4, seed=11)
+        full, _ = route_switch(probs, capacity=6, k=2)
+        a, counts = route_switch(probs[:17], capacity=6, k=2)
+        b, _ = route_switch(probs[17:], capacity=6, k=2, capacity_counts=counts)
+        merged = np.concatenate(
+            [a.sorted_tuples(), b.sorted_tuples() + np.array([17, 0, 0])]
+        )
+        merged = merged[np.lexsort((merged[:, 2], merged[:, 1], merged[:, 0]))]
+        assert np.array_equal(merged, full.sorted_tuples())
+
+
+class TestBPR:
+    def test_high_importance_wins(self):
+        """BPR keeps the most confident tokens when capacity is scarce."""
+        probs = np.array([[0.55, 0.45], [0.95, 0.05], [0.6, 0.4]])
+        info, _ = route_bpr(probs, capacity=1)
+        kept_for_e0 = info.token_idx[info.expert_idx == 0]
+        assert kept_for_e0.tolist() == [1]  # most important, not first
+
+    def test_not_prefix_stable(self):
+        with pytest.raises(ValueError):
+            route_tokens(make_probs(), "bpr", 4, capacity_counts=np.zeros(4))
+
+    def test_differs_from_fcfs(self):
+        probs = make_probs(64, 4, seed=7)
+        fcfs, _ = route_switch(probs, capacity=4)
+        bpr, _ = route_bpr(probs, capacity=4)
+        assert fcfs != bpr
+
+
+class TestRandomRouting:
+    def test_counter_based_determinism(self):
+        probs = make_probs(32, 8)
+        a, _ = route_random(probs, capacity=16, seed=5)
+        b, _ = route_random(probs, capacity=16, seed=5)
+        assert a == b
+        c, _ = route_random(probs, capacity=16, seed=6)
+        assert a != c
+
+    def test_token_offset_gives_prefix_stability(self):
+        probs = make_probs(30, 4, seed=2)
+        full, _ = route_random(probs, capacity=30, seed=9)
+        a, counts = route_random(probs[:12], capacity=30, seed=9, token_offset=0)
+        b, _ = route_random(
+            probs[12:], capacity=30, seed=9, token_offset=12,
+            capacity_counts=counts,
+        )
+        merged = np.concatenate(
+            [a.sorted_tuples(), b.sorted_tuples() + np.array([12, 0, 0])]
+        )
+        merged = merged[np.lexsort((merged[:, 2], merged[:, 1], merged[:, 0]))]
+        assert np.array_equal(merged, full.sorted_tuples())
+
+    def test_without_replacement(self):
+        probs = make_probs(64, 4)
+        info, _ = route_random(probs, capacity=64, k=3)
+        for t in range(64):
+            experts = info.expert_idx[info.token_idx == t]
+            assert len(set(experts.tolist())) == len(experts)
+
+
+class TestHashRouting:
+    def test_same_token_same_expert(self):
+        ids = np.array([5, 9, 5, 9, 5])
+        info, _ = route_hash(ids, num_experts=8, capacity=8)
+        e_of = {}
+        for t, e in zip(info.token_idx, info.expert_idx):
+            e_of.setdefault(ids[t], set()).add(e)
+        assert all(len(s) == 1 for s in e_of.values())
+
+    def test_requires_ids(self):
+        with pytest.raises(ValueError):
+            route_tokens(make_probs(), "hash", 4)
+
+
+class TestExpertChoice:
+    def test_experts_fill_to_capacity(self):
+        probs = make_probs(64, 4)
+        info, _ = route_expert_choice(probs, capacity=8)
+        assert (info.expert_counts() == 8).all()
+
+    def test_picks_top_scoring_tokens(self):
+        probs = make_probs(16, 2, seed=1)
+        info, _ = route_expert_choice(probs, capacity=4)
+        for e in range(2):
+            mine = set(info.token_idx[info.expert_idx == e].tolist())
+            top = set(np.argsort(-probs[:, e], kind="stable")[:4].tolist())
+            assert mine == top
+
+    def test_not_prefix_stable(self):
+        with pytest.raises(ValueError):
+            route_tokens(
+                make_probs(), "expert_choice", 4, capacity_counts=np.zeros(4)
+            )
+
+
+class TestDispatcher:
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            route_tokens(make_probs(), "nope", 4)
+
+    @pytest.mark.parametrize("gate", ["switch", "topk", "random", "bpr"])
+    def test_all_gates_valid(self, gate):
+        info, _ = route_tokens(make_probs(), gate, 8, k=2)
+        assert_valid(info)
