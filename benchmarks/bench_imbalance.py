@@ -1,0 +1,35 @@
+"""Load-imbalance scenario family (extension; not a paper figure).
+
+Exercises the per-device simulator: skewed expert popularity, per-layer
+hot experts and a straggler GPU, for a padded baseline (RAF) vs Lancet's
+irregular all-to-all.  Padded communication is skew-insensitive but
+always pays the full-buffer price; Lancet is cheaper everywhere while
+its completion tracks the hottest device.
+"""
+
+from conftest import run_figure
+from repro.bench.figures import imbalance
+
+
+def test_imbalance_scenarios(benchmark):
+    result = run_figure(benchmark, imbalance.run)
+    by = {(r["framework"], r["scenario"]): r for r in result.rows}
+    # padded RAF: hot routing does not change communication time
+    assert by[("raf", "hot")]["iteration_ms"] == by[("raf", "uniform")][
+        "iteration_ms"
+    ]
+    # lancet's irregular a2a responds to skew (mild = no capacity
+    # clipping, so more imbalance means a slower collective) and spreads
+    # the per-device busy times under hot experts, but stays ahead of RAF
+    assert by[("lancet", "mild")]["iteration_ms"] > by[("lancet", "uniform")][
+        "iteration_ms"
+    ]
+    assert by[("lancet", "hot")]["a2a_spread_ms"] > by[("lancet", "uniform")][
+        "a2a_spread_ms"
+    ]
+    for scen in ("uniform", "mild", "hot", "straggler"):
+        assert by[("lancet", scen)]["iteration_ms"] < by[("raf", scen)][
+            "iteration_ms"
+        ]
+    # a straggler hurts both frameworks
+    assert result.notes["max_slowdown"] > 1.0

@@ -15,9 +15,15 @@ from repro import (
     SimulationConfig,
     SyntheticRoutingModel,
     build_training_graph,
+    simulate_cluster,
     simulate_program,
 )
-from repro.runtime import overlap_summary, render_timeline
+from repro.runtime import (
+    imbalance_summary,
+    overlap_summary,
+    render_cluster_timeline,
+    render_timeline,
+)
 
 
 def first_moe_window(graph, timeline, pad_ms=1.0):
@@ -72,6 +78,25 @@ def main() -> None:
     print("=== whole iteration ===")
     print("baseline :", overlap_summary(base_tl))
     print("lancet   :", overlap_summary(opt_tl))
+
+    print("\n=== per-device view: hot experts + a straggler GPU ===")
+    # Lancet's irregular all-to-all tracks the realized routing, so with
+    # skewed expert popularity each device's collective busy time
+    # differs; a slowed device 0 additionally drags every collective.
+    skew_cfg = SimulationConfig(
+        cluster=cluster,
+        padded_a2a=False,
+        routing=SyntheticRoutingModel(
+            seed=1, concentration=1.0, hot_experts=2, hot_boost=0.3
+        ),
+        straggler_slowdown={0: 1.25},
+    )
+    ctl = simulate_cluster(optimized, config=skew_cfg)
+    print(render_cluster_timeline(ctl, width=88, start_ms=lo, end_ms=hi,
+                                  devices=[0, 1, 8]))
+    print("device lanes differ: hot-expert owners' A columns run longer,")
+    print("and d0 (the straggler) stretches its compute rows.")
+    print(imbalance_summary(ctl))
 
 
 if __name__ == "__main__":

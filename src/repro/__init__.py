@@ -32,14 +32,18 @@ from .ir import InstrKind, PassManager, Program, validate
 from .models import GPT2MoEConfig, ModelGraph, RunConfig, build_training_graph
 from .runtime import (
     ClusterSpec,
+    ClusterTimeline,
     SimulationConfig,
     SyntheticRoutingModel,
     Timeline,
+    UniformRoutingModel,
+    simulate_cluster,
     simulate_program,
 )
 
 __all__ = [
     "ClusterSpec",
+    "ClusterTimeline",
     "GPT2MoEConfig",
     "InstrKind",
     "LancetHyperParams",
@@ -53,8 +57,10 @@ __all__ = [
     "SimulationConfig",
     "SyntheticRoutingModel",
     "Timeline",
+    "UniformRoutingModel",
     "WeightGradSchedulePass",
     "build_training_graph",
+    "simulate_cluster",
     "simulate_program",
     "validate",
     "__version__",

@@ -1,10 +1,11 @@
 """Per-figure experiment runners (one module per paper figure)."""
 
-from . import fig02, fig06, fig11, fig13, fig14, fig15, fig16, headline
+from . import fig02, fig06, fig11, fig13, fig14, fig15, fig16, headline, imbalance
 from .common import FigureResult
 
 #: figure id -> callable returning a FigureResult (fig12 is fig11 with
-#: the Batch Prioritized gate, as in the paper)
+#: the Batch Prioritized gate, as in the paper; "imbalance" is an
+#: extension: the per-device load-skew scenario family)
 ALL_FIGURES = {
     "fig02": fig02.run,
     "fig06": fig06.run,
@@ -15,6 +16,7 @@ ALL_FIGURES = {
     "fig15": fig15.run,
     "fig16": fig16.run,
     "headline": headline.run,
+    "imbalance": imbalance.run,
 }
 
 __all__ = ["ALL_FIGURES", "FigureResult"]

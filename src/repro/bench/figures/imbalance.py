@@ -1,0 +1,154 @@
+"""Load-imbalance scenario family: per-device simulation under skew.
+
+Not a paper figure -- an extension the per-device simulator enables
+(Lancet Sec. 3 motivates irregular all-to-all with exactly this expert-
+load skew; MoNTA-style traffic analysis studies it head on).  Each
+scenario perturbs the routing realization or the hardware:
+
+- ``uniform``   -- perfectly balanced experts (the cost model's view),
+- ``mild``      -- Dirichlet popularity, concentration 16 (trained gate),
+- ``hot``       -- heavy skew + per-layer hot experts,
+- ``straggler`` -- balanced routing but one GPU at 70% clocks.
+
+For each (scenario, framework) cell we report cluster iteration time,
+the per-device spread of realized all-to-all busy time, and the exposed
+communication of the critical device.  Padded baselines are skew-
+*insensitive* in communication (they always move the full buffer) but
+pay for it in time; Lancet's irregular all-to-all is cheaper everywhere
+yet its completion tracks the hottest device.
+"""
+
+from __future__ import annotations
+
+from ...baselines import make_framework
+from ...runtime import (
+    ClusterSpec,
+    GroundTruthCost,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    UniformRoutingModel,
+    device_byte_loads,
+    simulate_cluster,
+)
+from ..formatting import format_table
+from ..harness import model_by_name, paper_batch
+from .common import FigureResult
+
+
+def _send_imbalance(cost: GroundTruthCost, program) -> float:
+    """Max/mean per-device send bytes of the first realized irregular
+    all-to-all (1.0 = perfectly balanced; padded schedules have no
+    realized irregularity and report 1.0)."""
+    for instr in program.instructions:
+        if instr.op != "all_to_all":
+            continue
+        pair = cost.a2a_pair_bytes(instr, program)
+        if pair is None:
+            return 1.0
+        send, _recv = device_byte_loads(pair)
+        mean = send.mean()
+        return float(send.max() / mean) if mean > 0 else 1.0
+    return 1.0
+
+
+def scenario_configs(seed: int = 1) -> dict[str, dict]:
+    """Named scenario -> SimulationConfig overrides."""
+    return {
+        "uniform": dict(routing=UniformRoutingModel()),
+        "mild": dict(routing=SyntheticRoutingModel(seed=seed, concentration=16.0)),
+        "hot": dict(
+            routing=SyntheticRoutingModel(
+                seed=seed, concentration=1.0, hot_experts=2, hot_boost=0.3
+            )
+        ),
+        "straggler": dict(
+            routing=UniformRoutingModel(),
+            straggler_slowdown={0: 1.0 / 0.7},
+        ),
+    }
+
+
+def run(
+    model: str = "GPT2-S-MoE",
+    cluster_kind: str = "a100",
+    num_gpus: int = 16,
+    frameworks=("raf", "lancet"),
+    scenarios=("uniform", "mild", "hot", "straggler"),
+    seed: int = 1,
+) -> FigureResult:
+    """Sweep routing-skew / straggler scenarios per framework."""
+    from ...models import build_training_graph
+
+    cfg = model_by_name(model)
+    batch = paper_batch(cluster_kind, model)
+    graph = build_training_graph(
+        cfg, batch=batch, seq=512, num_gpus=num_gpus
+    )
+    cluster = ClusterSpec.for_gpus(cluster_kind, num_gpus)
+    all_scenarios = scenario_configs(seed)
+
+    rows = []
+    for fw_name in frameworks:
+        prepared = make_framework(fw_name).prepare(graph, cluster)
+        for scen in scenarios:
+            overrides = all_scenarios[scen]
+            sim = SimulationConfig(
+                cluster=cluster,
+                framework=prepared.profile,
+                padded_a2a=prepared.padded_a2a,
+                **overrides,
+            )
+            cost = GroundTruthCost(sim)
+            ctl = simulate_cluster(prepared.program, cost=cost)
+            bd = ctl.breakdown()  # critical device
+            rows.append(
+                {
+                    "framework": fw_name,
+                    "scenario": scen,
+                    "iteration_ms": ctl.makespan,
+                    "a2a_spread_ms": ctl.imbalance_ms({"all_to_all"}),
+                    "send_imbalance": _send_imbalance(cost, prepared.program),
+                    "comm_only_ms": bd.comm_only,
+                    "critical_device": ctl.critical_device,
+                }
+            )
+
+    # normalize within each framework against its uniform scenario
+    # (fall back to the first listed scenario if uniform wasn't run)
+    base_scen = "uniform" if "uniform" in scenarios else scenarios[0]
+    for fw_name in frameworks:
+        base = next(
+            r["iteration_ms"]
+            for r in rows
+            if r["framework"] == fw_name and r["scenario"] == base_scen
+        )
+        for r in rows:
+            if r["framework"] == fw_name:
+                r["slowdown_vs_uniform"] = r["iteration_ms"] / base
+
+    table = format_table(
+        ["Framework", "Scenario", "Iter ms", "A2A spread", "Send imb",
+         "Comm-only", "Crit dev", "vs unif"],
+        [
+            [
+                r["framework"],
+                r["scenario"],
+                r["iteration_ms"],
+                r["a2a_spread_ms"],
+                r["send_imbalance"],
+                r["comm_only_ms"],
+                r["critical_device"],
+                r["slowdown_vs_uniform"],
+            ]
+            for r in rows
+        ],
+        title=f"Load imbalance scenarios ({model}, {cluster_kind}, "
+        f"{num_gpus} GPUs)",
+    )
+    notes = {
+        "max_slowdown": max(r["slowdown_vs_uniform"] for r in rows),
+        "max_a2a_spread_ms": max(r["a2a_spread_ms"] for r in rows),
+    }
+    return FigureResult(
+        "imbalance", "per-device load-imbalance scenarios", rows, table, notes
+    )

@@ -7,7 +7,12 @@ execution for equivalence testing.
 """
 
 from .cluster import ClusterSpec
-from .collectives import all_to_all_dense, all_to_all_irregular, allreduce_sum
+from .collectives import (
+    all_to_all_dense,
+    all_to_all_irregular,
+    allreduce_sum,
+    device_byte_loads,
+)
 from .device import (
     A100,
     COMPILED,
@@ -25,23 +30,31 @@ from .simulate import (
     GroundTruthCost,
     SimulationConfig,
     iteration_time_ms,
+    simulate_cluster,
     simulate_program,
 )
 from .timeline import (
     Breakdown,
+    ClusterTimeline,
     Interval,
     Timeline,
     intersect_length,
     merge_intervals,
     total_length,
 )
-from .visualize import overlap_summary, render_timeline
+from .visualize import (
+    imbalance_summary,
+    overlap_summary,
+    render_cluster_timeline,
+    render_timeline,
+)
 
 __all__ = [
     "A100",
     "Breakdown",
     "COMPILED",
     "ClusterSpec",
+    "ClusterTimeline",
     "DEEPSPEED",
     "DISPATCH_OPS",
     "DeviceEnv",
@@ -60,12 +73,16 @@ __all__ = [
     "all_to_all_dense",
     "all_to_all_irregular",
     "allreduce_sum",
+    "device_byte_loads",
+    "imbalance_summary",
     "intersect_length",
     "iteration_time_ms",
     "merge_intervals",
     "overlap_summary",
+    "render_cluster_timeline",
     "render_timeline",
     "run_program",
+    "simulate_cluster",
     "simulate_program",
     "total_length",
 ]

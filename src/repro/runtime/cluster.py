@@ -83,14 +83,18 @@ class ClusterSpec:
         t_inter = (send_bytes_per_gpu * frac_inter) / (self.nic_per_gpu_gbps * 1e9)
         return self.alpha_ms() + max(t_intra, t_inter) * 1e3
 
-    def a2a_time_ms_irregular(self, pair_bytes: np.ndarray) -> float:
-        """Irregular all-to-all (all-to-allv): ``pair_bytes[s, d]`` bytes
-        flow from GPU ``s`` to GPU ``d``.
+    def a2a_device_times_ms(self, pair_bytes: np.ndarray) -> np.ndarray:
+        """Per-device busy time of an irregular all-to-all.
 
-        Completion is bounded by the most-loaded GPU's send or receive
-        stream on each network level.  An extra latency term accounts for
-        the first (size-exchange) phase of the two-phase protocol
-        (paper Fig. 10).
+        ``pair_bytes[s, d]`` bytes flow from GPU ``s`` to GPU ``d``;
+        device ``i`` is busy until its own send *and* receive streams
+        drain on each network level, so its time is bounded by
+        ``max(send_i, recv_i)`` per level.  Two latency terms account for
+        the two-phase protocol (paper Fig. 10): phase 1 exchanges chunk
+        sizes, phase 2 moves the data.
+
+        The collective as a whole completes at ``result.max()``, which is
+        exactly :meth:`a2a_time_ms_irregular` (busiest stream anywhere).
         """
         pair = np.asarray(pair_bytes, dtype=np.float64)
         g = self.num_gpus
@@ -103,17 +107,21 @@ class ClusterSpec:
         intra = np.where(same_node & off_diag, pair, 0.0)
         inter = np.where(~same_node, pair, 0.0)
 
-        # busiest send / receive streams per level
-        intra_load = max(
-            intra.sum(axis=1).max(initial=0.0), intra.sum(axis=0).max(initial=0.0)
-        )
-        inter_load = max(
-            inter.sum(axis=1).max(initial=0.0), inter.sum(axis=0).max(initial=0.0)
-        )
+        # per-device bottleneck stream (send or receive) on each level
+        intra_load = np.maximum(intra.sum(axis=1), intra.sum(axis=0))
+        inter_load = np.maximum(inter.sum(axis=1), inter.sum(axis=0))
         t_intra = intra_load / (self.intra_bw_gbps * 1e9)
         t_inter = inter_load / (self.nic_per_gpu_gbps * 1e9)
         size_exchange = self.alpha_ms()  # phase 1: exchange chunk sizes
-        return size_exchange + self.alpha_ms() + max(t_intra, t_inter) * 1e3
+        return size_exchange + self.alpha_ms() + np.maximum(t_intra, t_inter) * 1e3
+
+    def a2a_time_ms_irregular(self, pair_bytes: np.ndarray) -> float:
+        """Irregular all-to-all (all-to-allv) completion time.
+
+        Bounded by the most-loaded GPU's send or receive stream on each
+        network level: the max of :meth:`a2a_device_times_ms`.
+        """
+        return float(self.a2a_device_times_ms(pair_bytes).max())
 
     def allreduce_time_ms(self, nbytes: float) -> float:
         """Hierarchical all-reduce (NCCL-style).

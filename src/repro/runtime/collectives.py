@@ -90,6 +90,21 @@ def all_to_all_irregular(
     return out, _pair_bytes(counts, el, row_bytes, direction)
 
 
+def device_byte_loads(pair_bytes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-device (send, recv) byte totals of an all-to-all.
+
+    Self-traffic (the diagonal) stays on-device and is excluded.  The
+    spread of these loads across devices is what makes skewed routing
+    slow: the collective completes with the busiest device.
+    """
+    pair = np.asarray(pair_bytes, dtype=np.float64)
+    g = pair.shape[0]
+    if pair.shape != (g, g):
+        raise ValueError(f"pair_bytes must be square, got {pair.shape}")
+    off = np.where(np.eye(g, dtype=bool), 0.0, pair)
+    return off.sum(axis=1), off.sum(axis=0)
+
+
 def allreduce_sum(arrays: list[np.ndarray]) -> list[np.ndarray]:
     """All-reduce (sum): every device receives the elementwise sum."""
     total = arrays[0].copy()

@@ -7,21 +7,27 @@ losses, gradients and updated parameters to the original.
 
 Communication ops synchronize across the per-device environments (the
 interpreter plays the role of NCCL); everything else is a per-device
-kernel from :mod:`repro.numerics`.
+kernel from :mod:`repro.numerics`.  Between collectives the devices are
+fully independent, so those kernel segments can run concurrently on a
+thread pool -- numpy's BLAS kernels release the GIL -- without changing a
+single bit of the result.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..ir import Program
+from ..ir import Instruction, Program
 from ..numerics.kernels import FORWARD_KERNELS
 from . import collectives
 
 # importing grads registers the backward kernels in FORWARD_KERNELS
 from ..numerics import grads as _grads  # noqa: F401
+
+#: ops the interpreter executes as cross-device collectives
+COLLECTIVE_OPS = frozenset({"all_to_all", "allreduce"})
 
 
 @dataclass
@@ -47,47 +53,131 @@ class NumericExecutor:
         The IR to execute (any schedule -- original or Lancet-optimized).
     num_devices:
         Number of SPMD devices; must match the graph's expert sharding.
+    parallel:
+        Run per-device kernel segments concurrently on a thread pool.
+        ``None`` (default) enables it automatically on multi-core hosts
+        when there is more than one device.  Devices only interact at
+        collectives, which always synchronize, so parallel execution is
+        bit-identical to serial.
+    max_workers:
+        Thread-pool size; defaults to ``min(num_devices, cpu_count)``.
     """
 
-    def __init__(self, program: Program, num_devices: int) -> None:
+    def __init__(
+        self,
+        program: Program,
+        num_devices: int,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+    ) -> None:
         self.program = program
         self.g = num_devices
+        cpus = os.cpu_count() or 1
+        if parallel is None:
+            parallel = cpus > 1 and num_devices > 1
+        self.parallel = bool(parallel) and num_devices > 1
+        self.max_workers = max_workers or min(num_devices, max(cpus, 1))
+        self._pool: ThreadPoolExecutor | None = None
+
+    @staticmethod
+    def _split_segments(
+        program: Program,
+    ) -> list[tuple[str, Instruction | list[Instruction]]]:
+        """Split program order into maximal per-device kernel runs
+        separated by collectives (the synchronization points)."""
+        segments: list[tuple[str, Instruction | list[Instruction]]] = []
+        run: list[Instruction] = []
+        for instr in program.instructions:
+            if instr.op in COLLECTIVE_OPS:
+                if run:
+                    segments.append(("kernels", run))
+                    run = []
+                segments.append(("collective", instr))
+            else:
+                run.append(instr)
+        if run:
+            segments.append(("kernels", run))
+        return segments
+
+    def _run_kernels(self, env: DeviceEnv, instrs: list[Instruction]) -> None:
+        """Execute a collective-free instruction run on one device."""
+        for instr in instrs:
+            fn = FORWARD_KERNELS.get(instr.op)
+            if fn is None:
+                raise NotImplementedError(f"no kernel for op {instr.op!r}")
+            attrs = instr.attrs
+            if instr.op in ("routing", "routing_partial"):
+                # per-device RNG stream for stochastic gates
+                attrs = {**attrs, "seed": attrs.get("seed", 0) + env.index}
+            ins = [env[v] for v in instr.inputs]
+            outs = fn(ins, attrs)
+            for vid, val in zip(instr.outputs, outs):
+                env[vid] = val
+
+    def _run_collective(self, envs: list[DeviceEnv], instr: Instruction) -> None:
+        if instr.op == "all_to_all":
+            bufs = [env[instr.inputs[0]] for env in envs]
+            outs = collectives.all_to_all_dense(bufs, instr.attrs["direction"])
+        else:  # allreduce
+            arrays = [env[instr.inputs[0]] for env in envs]
+            if instr.attrs.get("reduce", "mean") == "mean":
+                outs = collectives.allreduce_mean(arrays)
+            else:
+                outs = collectives.allreduce_sum(arrays)
+        for env, out in zip(envs, outs):
+            env[instr.outputs[0]] = out
 
     def run(self, envs: list[DeviceEnv]) -> list[DeviceEnv]:
         """Execute all instructions; returns the (mutated) environments."""
         if len(envs) != self.g:
             raise ValueError(f"expected {self.g} envs, got {len(envs)}")
-        p = self.program
-        for instr in p.instructions:
-            if instr.op == "all_to_all":
-                bufs = [env[instr.inputs[0]] for env in envs]
-                outs = collectives.all_to_all_dense(
-                    bufs, instr.attrs["direction"]
-                )
-                for env, out in zip(envs, outs):
-                    env[instr.outputs[0]] = out
-            elif instr.op == "allreduce":
-                arrays = [env[instr.inputs[0]] for env in envs]
-                if instr.attrs.get("reduce", "mean") == "mean":
-                    outs = collectives.allreduce_mean(arrays)
-                else:
-                    outs = collectives.allreduce_sum(arrays)
-                for env, out in zip(envs, outs):
-                    env[instr.outputs[0]] = out
-            else:
-                fn = FORWARD_KERNELS.get(instr.op)
-                if fn is None:
-                    raise NotImplementedError(f"no kernel for op {instr.op!r}")
-                for env in envs:
-                    attrs = instr.attrs
-                    if instr.op in ("routing", "routing_partial"):
-                        # per-device RNG stream for stochastic gates
-                        attrs = {**attrs, "seed": attrs.get("seed", 0) + env.index}
-                    ins = [env[v] for v in instr.inputs]
-                    outs = fn(ins, attrs)
-                    for vid, val in zip(instr.outputs, outs):
-                        env[vid] = val
+        # re-split every run: programs are mutable and passes rewrite
+        # them in place; the split is O(n) appends, negligible next to
+        # the numeric kernels
+        segments = self._split_segments(self.program)
+        if self.parallel:
+            # the pool is created once and reused: training loops call
+            # run() per step, and per-call thread spawn/join would
+            # dominate the sub-millisecond kernels of small graphs
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            self._run_segments(envs, segments, self._pool)
+        else:
+            self._run_segments(envs, segments, None)
         return envs
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; optional -- idle
+        threads are also reaped at interpreter exit)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _run_segments(
+        self,
+        envs: list[DeviceEnv],
+        segments: list[tuple[str, Instruction | list[Instruction]]],
+        pool: ThreadPoolExecutor | None,
+    ) -> None:
+        for tag, payload in segments:
+            if tag == "collective":
+                self._run_collective(envs, payload)
+            elif pool is None:
+                for env in envs:
+                    self._run_kernels(env, payload)
+            else:
+                futures = [
+                    pool.submit(self._run_kernels, env, payload)
+                    for env in envs
+                ]
+                for f in futures:
+                    f.result()  # propagate worker exceptions
 
     def make_envs(
         self, per_device_values: list[dict[int, object]]
@@ -102,7 +192,8 @@ class NumericExecutor:
 def run_program(
     program: Program,
     per_device_values: list[dict[int, object]],
+    parallel: bool | None = None,
 ) -> list[DeviceEnv]:
     """One-shot convenience wrapper around :class:`NumericExecutor`."""
-    ex = NumericExecutor(program, len(per_device_values))
+    ex = NumericExecutor(program, len(per_device_values), parallel=parallel)
     return ex.run(ex.make_envs(per_device_values))

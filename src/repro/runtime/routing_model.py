@@ -31,11 +31,30 @@ class SyntheticRoutingModel:
         Dirichlet concentration of expert popularity.  ~16 gives the mild
         imbalance typical of gates trained with a load-balancing loss;
         1 gives heavy skew (hot experts).
+    hot_experts:
+        Number of experts per layer that receive a deterministic extra
+        share of the traffic (drawn once per layer key).  0 disables the
+        mechanism and reproduces the plain Dirichlet draws exactly.
+    hot_boost:
+        Fraction of total popularity mass concentrated on the hot
+        experts (0 <= hot_boost < 1).  The remaining ``1 - hot_boost`` is
+        distributed by the Dirichlet draw, so the realization stays a
+        valid distribution per device.
     """
 
     seed: int = 0
     concentration: float = 16.0
+    hot_experts: int = 0
+    hot_boost: float = 0.0
     _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hot_experts < 0:
+            raise ValueError(f"hot_experts must be >= 0, got {self.hot_experts}")
+        if not 0.0 <= self.hot_boost < 1.0:
+            raise ValueError(
+                f"hot_boost must be in [0, 1), got {self.hot_boost}"
+            )
 
     def counts_for(
         self,
@@ -62,6 +81,15 @@ class SyntheticRoutingModel:
             alpha = np.full(num_experts, self.concentration)
             # each device draws its own popularity (token mixes differ)
             pop = rng.dirichlet(alpha, size=num_devices)
+            if self.hot_experts > 0 and self.hot_boost > 0.0:
+                # per-layer hot experts: every device concentrates an
+                # extra hot_boost of its mass on the same few experts
+                # (drawn after the Dirichlet so hot_experts=0 reproduces
+                # the plain draws bit-for-bit)
+                k = min(self.hot_experts, num_experts)
+                hot = rng.choice(num_experts, size=k, replace=False)
+                pop = pop * (1.0 - self.hot_boost)
+                pop[:, hot] += self.hot_boost / k
             self._cache[cache_key] = pop
         tokens = tokens_per_device * fraction
         counts = np.minimum(np.round(pop * tokens), capacity * fraction)

@@ -8,15 +8,24 @@ data dependencies have completed -- exactly the semantics the paper's
 pipeline scheduler assumes (Sec. 5.3: "start time = max over (i) end of
 dependencies and (ii) end of the previous instruction of the same type").
 
-Because execution is SPMD-symmetric (all devices run the same program on
-equal-sized data, synchronized by collectives), one representative device
-timeline suffices; collective durations come from the cluster-wide
-network model, including realized irregular all-to-all sizes drawn from a
-routing model.
+Two simulation modes share the cost model:
+
+- :func:`simulate_program` -- the SPMD-symmetric fast path: all devices
+  run the same program on equal-sized data, so one representative device
+  timeline suffices.  Collective durations come from the cluster-wide
+  network model (the busiest participant's stream).
+- :func:`simulate_cluster` -- ``G`` per-device timelines with
+  device-resolved collectives: each device's all-to-all busy time is its
+  own send/receive bottleneck under the realized routing, collectives
+  start once every participant has arrived and complete at the max over
+  participants, and per-device straggler slowdowns stretch compute.
+  With uniform routing and no stragglers this degenerates to ``G``
+  copies of the representative timeline, bit-for-bit.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +36,7 @@ from ..ir import Dim, InstrKind, Instruction, Program, Stream, TensorType, get_o
 from .cluster import ClusterSpec
 from .device import COMPILED, FrameworkProfile
 from .routing_model import SyntheticRoutingModel, UniformRoutingModel
-from .timeline import Interval, Timeline
+from .timeline import ClusterTimeline, Interval, Timeline
 
 #: Ops whose kernel time is scaled by the framework's dispatch multiplier
 #: (DeepSpeed's slow dispatch vs Tutel's fast kernels, paper Sec. 7).
@@ -79,6 +88,36 @@ class SimulationConfig:
     routing: SyntheticRoutingModel | UniformRoutingModel = field(
         default_factory=lambda: SyntheticRoutingModel(seed=0)
     )
+    #: Per-device compute slowdown multipliers (1.0 = nominal speed), for
+    #: heterogeneous-cluster / straggler scenarios.  A sequence of length
+    #: ``cluster.num_gpus`` or a mapping ``{device_index: factor}``
+    #: (unlisted devices run at 1.0).  Affects compute only -- network
+    #: time is modelled by the cluster, not the GPU clock.  ``None``
+    #: means all devices are nominal; only :func:`simulate_cluster`
+    #: resolves per-device factors (the representative-device
+    #: :func:`simulate_program` ignores them).
+    straggler_slowdown: Sequence[float] | Mapping[int, float] | None = None
+
+    def device_slowdowns(self) -> np.ndarray:
+        """Resolved per-device compute multipliers, shape [num_gpus]."""
+        g = self.cluster.num_gpus
+        if self.straggler_slowdown is None:
+            return np.ones(g)
+        if isinstance(self.straggler_slowdown, Mapping):
+            out = np.ones(g)
+            for d, f in self.straggler_slowdown.items():
+                if not 0 <= d < g:
+                    raise ValueError(f"straggler device {d} out of range")
+                out[d] = float(f)
+        else:
+            out = np.asarray(self.straggler_slowdown, dtype=np.float64)
+            if out.shape != (g,):
+                raise ValueError(
+                    f"straggler_slowdown must have length {g}, got {out.shape}"
+                )
+        if (out <= 0).any():
+            raise ValueError("straggler slowdown factors must be positive")
+        return out
 
 
 class GroundTruthCost:
@@ -134,13 +173,15 @@ class GroundTruthCost:
 
     # -- communication ops ----------------------------------------------------------
 
-    def _a2a_ms(self, instr: Instruction, program: Program) -> float:
+    def a2a_pair_bytes(
+        self, instr: Instruction, program: Program
+    ) -> np.ndarray | None:
+        """Realized pair-bytes matrix of an irregular all-to-all, or
+        ``None`` when the collective moves the full padded buffer."""
+        if self.config.padded_a2a or not instr.attrs.get("irregular", False):
+            return None
         cluster = self.config.cluster
         buf_t = program.type_of(instr.inputs[0])
-        if self.config.padded_a2a or not instr.attrs.get("irregular", False):
-            return cluster.a2a_time_ms(float(buf_t.nbytes))
-
-        # irregular: realized pair sizes from the routing model
         e, c, h = buf_t.shape
         g = cluster.num_gpus
         tokens = int(instr.attrs.get("tokens", e * c))
@@ -148,7 +189,7 @@ class GroundTruthCost:
         fraction = 1.0
         if instr.partition is not None:
             fraction = 1.0 / instr.partition[1]
-        pair = self.config.routing.pair_bytes_for(
+        return self.config.routing.pair_bytes_for(
             layer_key,
             g,
             e,
@@ -157,7 +198,13 @@ class GroundTruthCost:
             bytes_per_token=h * buf_t.dtype.nbytes,
             fraction=fraction,
         )
-        return cluster.a2a_time_ms_irregular(pair)
+
+    def _a2a_ms(self, instr: Instruction, program: Program) -> float:
+        pair = self.a2a_pair_bytes(instr, program)
+        if pair is None:
+            buf_t = program.type_of(instr.inputs[0])
+            return self.config.cluster.a2a_time_ms(float(buf_t.nbytes))
+        return self.config.cluster.a2a_time_ms_irregular(pair)
 
     def duration_ms(self, instr: Instruction, program: Program) -> float:
         """Ground-truth duration of one instruction in milliseconds."""
@@ -167,6 +214,40 @@ class GroundTruthCost:
             nbytes = float(program.type_of(instr.inputs[0]).nbytes)
             return self.config.cluster.allreduce_time_ms(nbytes)
         return self._compute_ms(instr, program)
+
+    # -- device-resolved costs (simulate_cluster) -------------------------------
+
+    def collective_device_times(
+        self, instr: Instruction, program: Program
+    ) -> np.ndarray:
+        """Per-participant busy time of a collective, shape [num_gpus].
+
+        Padded all-to-alls and all-reduces are symmetric (every device
+        moves the same bytes); irregular all-to-alls resolve to each
+        device's own send/receive bottleneck under the realized routing,
+        so hot-expert owners stay busy longer.  ``result.max()`` always
+        equals the representative-device :meth:`duration_ms`.
+        """
+        g = self.config.cluster.num_gpus
+        if instr.op == "all_to_all":
+            pair = self.a2a_pair_bytes(instr, program)
+            if pair is None:
+                buf_t = program.type_of(instr.inputs[0])
+                return np.full(
+                    g, self.config.cluster.a2a_time_ms(float(buf_t.nbytes))
+                )
+            return self.config.cluster.a2a_device_times_ms(pair)
+        if instr.op == "allreduce":
+            nbytes = float(program.type_of(instr.inputs[0]).nbytes)
+            return np.full(g, self.config.cluster.allreduce_time_ms(nbytes))
+        raise ValueError(f"{instr.op!r} is not a collective")
+
+    def device_duration_ms(
+        self, instr: Instruction, program: Program, slowdown: float = 1.0
+    ) -> float:
+        """Compute-op duration on one device, with its straggler factor."""
+        t = self._compute_ms(instr, program)
+        return t if slowdown == 1.0 else t * slowdown
 
 
 def simulate_program(
@@ -217,6 +298,95 @@ def simulate_program(
         )
 
     return Timeline(intervals)
+
+
+def simulate_cluster(
+    program: Program,
+    cost: GroundTruthCost | None = None,
+    config: SimulationConfig | None = None,
+) -> ClusterTimeline:
+    """Simulate one iteration with ``G`` per-device timelines.
+
+    Same program-order two-stream semantics as :func:`simulate_program`,
+    but every device is tracked individually:
+
+    - compute instructions run on each device's compute stream, scaled
+      by that device's straggler factor (``config.straggler_slowdown``);
+    - collectives synchronize: the transfer starts once **every**
+      participant has arrived (max over per-device ready times), each
+      device's busy interval lasts its own device-resolved duration
+      (e.g. a hot-expert owner's all-to-all runs longer), and outputs
+      become ready -- and comm streams free -- only when the whole
+      collective completes (max over participants).
+
+    With :class:`UniformRoutingModel` routing and no stragglers all
+    devices see identical costs, and each per-device timeline is
+    bit-for-bit the :func:`simulate_program` timeline.
+    """
+    if cost is None:
+        if config is None:
+            raise ValueError("need cost or config")
+        cost = GroundTruthCost(config)
+    g = cost.config.cluster.num_gpus
+    slowdowns = cost.config.device_slowdowns()
+
+    value_ready = [dict() for _ in range(g)]  # type: list[dict[int, float]]
+    stream_free = [
+        {Stream.COMPUTE: 0.0, Stream.COMM: 0.0} for _ in range(g)
+    ]
+    intervals: list[list[Interval]] = [[] for _ in range(g)]
+
+    for instr in program.instructions:
+        stream = Stream.COMM if instr.is_comm else Stream.COMPUTE
+        arrivals = []
+        for d in range(g):
+            dep_ready = 0.0
+            for v in instr.inputs:
+                t = value_ready[d].get(v, 0.0)
+                if t > dep_ready:
+                    dep_ready = t
+            arrivals.append(max(stream_free[d][stream], dep_ready))
+
+        if instr.is_comm:
+            # collective: wait for all participants, resolve per-device
+            # busy times, release everyone at the common completion time
+            start = max(arrivals)
+            times = cost.collective_device_times(instr, program)
+            complete = start + float(times.max())
+            for d in range(g):
+                end_d = start + float(times[d])
+                stream_free[d][stream] = complete
+                for o in instr.outputs:
+                    value_ready[d][o] = complete
+                intervals[d].append(
+                    Interval(
+                        uid=instr.uid,
+                        op=instr.op,
+                        kind=instr.kind.value,
+                        stream=stream,
+                        start=start,
+                        end=end_d,
+                    )
+                )
+        else:
+            for d in range(g):
+                dur = cost.device_duration_ms(instr, program, slowdowns[d])
+                end = arrivals[d] + dur
+                stream_free[d][stream] = end
+                for o in instr.outputs:
+                    value_ready[d][o] = end
+                intervals[d].append(
+                    Interval(
+                        uid=instr.uid,
+                        op=instr.op,
+                        kind=instr.kind.value,
+                        stream=stream,
+                        start=arrivals[d],
+                        end=end,
+                    )
+                )
+
+    return ClusterTimeline([Timeline(ivs) for ivs in intervals])
 
 
 def iteration_time_ms(

@@ -166,3 +166,55 @@ class Timeline:
         other = Stream.COMPUTE if streams.pop() == Stream.COMM else Stream.COMM
         other_spans = self.stream_spans(other)
         return total_length(target) - intersect_length(target, other_spans)
+
+
+@dataclass
+class ClusterTimeline:
+    """Per-device timelines of one simulated iteration on ``G`` devices.
+
+    Produced by :func:`~repro.runtime.simulate.simulate_cluster`.  Every
+    device records its own intervals; collectives appear on each
+    participant with that device's busy time, but downstream work (and
+    the stream) only resumes once the whole collective has completed.
+    """
+
+    devices: list[Timeline] = field(default_factory=list)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> Timeline:
+        """Timeline of one device."""
+        return self.devices[index]
+
+    @property
+    def makespan(self) -> float:
+        """Cluster iteration time: the slowest device's makespan."""
+        return max((tl.makespan for tl in self.devices), default=0.0)
+
+    def per_device_makespans(self) -> list[float]:
+        return [tl.makespan for tl in self.devices]
+
+    @property
+    def critical_device(self) -> int:
+        """Index of the device that finishes last (the straggler)."""
+        spans = self.per_device_makespans()
+        return int(np.argmax(spans)) if spans else 0
+
+    def breakdown(self) -> Breakdown:
+        """Fig. 13-style decomposition of the critical device."""
+        return self.devices[self.critical_device].breakdown()
+
+    def per_device_time_of(
+        self, ops: set[str] | None = None, kind: str | None = None
+    ) -> list[float]:
+        """Per-device total busy time of the given ops (e.g. the spread
+        of realized all-to-all durations under skewed routing)."""
+        return [tl.total_time_of(ops, kind) for tl in self.devices]
+
+    def imbalance_ms(self, ops: set[str] | None = None) -> float:
+        """Max minus min per-device busy time of ``ops``: 0 for a
+        perfectly SPMD-symmetric execution, > 0 under load skew."""
+        per = self.per_device_time_of(ops)
+        return (max(per) - min(per)) if per else 0.0

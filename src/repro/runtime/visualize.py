@@ -14,7 +14,7 @@ Legend: ``A`` all-to-all, ``R`` all-reduce, ``E`` expert computation,
 from __future__ import annotations
 
 from ..ir import Stream
-from .timeline import Timeline
+from .timeline import ClusterTimeline, Timeline
 
 #: op name -> glyph (checked in order; first match wins)
 _GLYPHS: list[tuple[tuple[str, ...], str]] = [
@@ -34,25 +34,18 @@ def _glyph(op: str) -> str:
     return "#"
 
 
-def render_timeline(
-    timeline: Timeline,
-    width: int = 100,
-    start_ms: float | None = None,
-    end_ms: float | None = None,
-) -> str:
-    """Render the two streams as fixed-width character lanes.
+_LEGEND = (
+    "legend: A=all-to-all R=all-reduce E=experts d=dW s=split/concat #=other"
+)
 
-    Each column covers ``(end - start) / width`` milliseconds and shows
-    the glyph of the op occupying most of that column on each stream.
+
+def _lanes(timeline: Timeline, width: int, t0: float, t1: float) -> dict:
+    """Character lanes (one per stream) for a [t0, t1) window.
+
+    Each column covers ``(t1 - t0) / width`` milliseconds and shows the
+    glyph of the op occupying most of that column on each stream.
     """
-    if not timeline.intervals:
-        return "(empty timeline)"
-    t0 = 0.0 if start_ms is None else start_ms
-    t1 = timeline.makespan if end_ms is None else end_ms
-    if t1 <= t0:
-        raise ValueError(f"empty window [{t0}, {t1})")
     col_ms = (t1 - t0) / width
-
     lanes = {Stream.COMPUTE: [" "] * width, Stream.COMM: [" "] * width}
     occupancy = {
         Stream.COMPUTE: [0.0] * width,
@@ -70,16 +63,87 @@ def render_timeline(
             if covered > occ[c]:
                 occ[c] = covered
                 lane[c] = _glyph(iv.op)
+    return lanes
 
+
+def render_timeline(
+    timeline: Timeline,
+    width: int = 100,
+    start_ms: float | None = None,
+    end_ms: float | None = None,
+) -> str:
+    """Render the two streams as fixed-width character lanes."""
+    if not timeline.intervals:
+        return "(empty timeline)"
+    t0 = 0.0 if start_ms is None else start_ms
+    t1 = timeline.makespan if end_ms is None else end_ms
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    lanes = _lanes(timeline, width, t0, t1)
     header = f"{t0:.1f} ms {'-' * max(width - 18, 1)} {t1:.1f} ms"
     return "\n".join(
         [
             header,
             "comp |" + "".join(lanes[Stream.COMPUTE]) + "|",
             "comm |" + "".join(lanes[Stream.COMM]) + "|",
-            "legend: A=all-to-all R=all-reduce E=experts d=dW "
-            "s=split/concat #=other",
+            _LEGEND,
         ]
+    )
+
+
+def render_cluster_timeline(
+    cluster_timeline: ClusterTimeline,
+    width: int = 100,
+    start_ms: float | None = None,
+    end_ms: float | None = None,
+    devices: list[int] | None = None,
+) -> str:
+    """Render several per-device timelines on one shared time axis.
+
+    One comp/comm lane pair per device, so load imbalance is visible as
+    devices whose all-to-all (``A``) columns extend further right.
+    ``devices`` selects a subset (default: all).
+    """
+    if not cluster_timeline.devices:
+        return "(empty cluster timeline)"
+    picks = (
+        list(range(cluster_timeline.num_devices))
+        if devices is None
+        else list(devices)
+    )
+    t0 = 0.0 if start_ms is None else start_ms
+    t1 = cluster_timeline.makespan if end_ms is None else end_ms
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    label_w = max((len(f"d{d}") for d in picks), default=0)
+    # indent the ruler by the lane prefix ("<label> comp |") so its
+    # start/end marks line up with the lane columns
+    pad = " " * (label_w + len(" comp |"))
+    lines = [f"{pad}{t0:.1f} ms {'-' * max(width - 18, 1)} {t1:.1f} ms"]
+    for d in picks:
+        lanes = _lanes(cluster_timeline.device(d), width, t0, t1)
+        tag = f"d{d}".rjust(label_w)
+        lines.append(
+            f"{tag} comp |" + "".join(lanes[Stream.COMPUTE]) + "|"
+        )
+        lines.append(
+            f"{' ' * label_w} comm |" + "".join(lanes[Stream.COMM]) + "|"
+        )
+    lines.append(_LEGEND)
+    return "\n".join(lines)
+
+
+def imbalance_summary(cluster_timeline: ClusterTimeline) -> str:
+    """One-line summary of per-device all-to-all load imbalance."""
+    per = cluster_timeline.per_device_time_of({"all_to_all"})
+    if not per:
+        return "(no devices)"
+    lo, hi = min(per), max(per)
+    crit = cluster_timeline.critical_device
+    return (
+        f"makespan {cluster_timeline.makespan:.1f} ms | "
+        f"a2a busy/device min {lo:.1f} / max {hi:.1f} ms "
+        f"(spread {hi - lo:.1f}) | critical device d{crit}"
     )
 
 

@@ -1,0 +1,20 @@
+"""Small helpers shared by the test and benchmark suites.
+
+Lives inside the package (rather than in a ``conftest.py``) so test
+modules can import it unambiguously: ``tests/conftest.py`` and
+``benchmarks/conftest.py`` are both imported under the module name
+``conftest`` in pytest's rootdir mode, so ``from conftest import ...``
+resolves to whichever directory was collected first.
+"""
+
+from __future__ import annotations
+
+
+def fresh_values(values: list[dict]) -> list[dict]:
+    """Deep-enough copy of per-device value dicts for one execution.
+
+    The numeric executor mutates its environments in place; tests reuse
+    one initialized value set across executions, so each run gets fresh
+    top-level dicts (the tensors themselves are never written in place).
+    """
+    return [dict(v) for v in values]

@@ -45,6 +45,10 @@ class Trainer:
         Lancet-optimized program to train with the optimized schedule.
     seed:
         Controls parameter init and the synthetic corpus.
+    parallel:
+        Run per-device kernel segments concurrently (bit-identical to
+        serial; see :class:`~repro.runtime.executor.NumericExecutor`).
+        ``None`` auto-enables on multi-core hosts.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class Trainer:
         program: Program | None = None,
         seed: int = 0,
         lr_corpus_alpha: float = 1.1,
+        parallel: bool | None = None,
     ) -> None:
         self.graph = graph
         self.program = program if program is not None else graph.program
@@ -60,7 +65,7 @@ class Trainer:
         self.corpus = SyntheticCorpus(
             vocab_size=graph.cfg.vocab_size, zipf_alpha=lr_corpus_alpha, seed=seed
         )
-        self.executor = NumericExecutor(self.program, self.g)
+        self.executor = NumericExecutor(self.program, self.g, parallel=parallel)
         self.state: list[dict[int, np.ndarray]] = init_param_values(graph, seed)
         self._updated = self._update_map()
         self.history: list[StepResult] = []

@@ -48,8 +48,3 @@ def a100_16() -> ClusterSpec:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
-
-
-def fresh_values(values):
-    """Deep-enough copy of per-device value dicts for one execution."""
-    return [dict(v) for v in values]

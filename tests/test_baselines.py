@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import fresh_values
+from repro.testing import fresh_values
 from repro import GPT2MoEConfig, build_training_graph, validate
 from repro.baselines import (
     DeepSpeedBaseline,

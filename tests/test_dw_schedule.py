@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import fresh_values
+from repro.testing import fresh_values
 from repro.ir import InstrKind, validate, verify_schedulable
 from repro.core import (
     CachingOpProfiler,

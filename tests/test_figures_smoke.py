@@ -8,7 +8,7 @@ correct on tiny grids so refactors are caught by the fast suite.
 import pytest
 
 from repro.bench import ALL_FIGURES
-from repro.bench.figures import fig02, fig06, fig11, fig13, fig14, fig15
+from repro.bench.figures import fig02, fig06, fig11, fig13, fig14, fig15, imbalance
 
 
 class TestRegistry:
@@ -23,6 +23,7 @@ class TestRegistry:
             "fig15",
             "fig16",
             "headline",
+            "imbalance",
         }
 
 
@@ -96,3 +97,37 @@ class TestFig15:
         )
         assert len(r.rows) == 1
         assert r.rows[0]["partition_pass_s"] > r.rows[0]["dw_pass_s"]
+
+
+class TestImbalance:
+    def test_scenarios(self):
+        r = imbalance.run(frameworks=("raf",), scenarios=("uniform", "hot"))
+        by = {row["scenario"]: row for row in r.rows}
+        assert by["uniform"]["slowdown_vs_uniform"] == 1.0
+        # RAF moves the padded buffer: comm is skew-insensitive, so the
+        # hot scenario's iteration time stays at the uniform baseline
+        assert by["hot"]["iteration_ms"] == pytest.approx(
+            by["uniform"]["iteration_ms"]
+        )
+
+    def test_straggler_slows_iteration(self):
+        r = imbalance.run(
+            frameworks=("raf",), scenarios=("uniform", "straggler")
+        )
+        by = {row["scenario"]: row for row in r.rows}
+        assert by["straggler"]["slowdown_vs_uniform"] > 1.0
+        assert by["straggler"]["critical_device"] == 0
+
+    def test_lancet_skew_sensitivity(self):
+        r = imbalance.run(
+            frameworks=("lancet",), scenarios=("uniform", "mild", "hot")
+        )
+        by = {row["scenario"]: row for row in r.rows}
+        # irregular all-to-all tracks the realized loads: skew spreads
+        # per-device busy times, and mild imbalance (no capacity
+        # clipping) slows the collective outright.  Heavy hot-expert
+        # skew clips at capacity -- fewer bytes move, so iteration time
+        # is NOT monotone in skew, but the spread keeps growing.
+        assert by["mild"]["iteration_ms"] > by["uniform"]["iteration_ms"]
+        assert by["mild"]["a2a_spread_ms"] > by["uniform"]["a2a_spread_ms"]
+        assert by["hot"]["a2a_spread_ms"] > by["mild"]["a2a_spread_ms"]
