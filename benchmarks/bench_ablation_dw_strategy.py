@@ -6,7 +6,6 @@ that choice against two natural alternatives (first-fit by program order,
 largest-remaining-first) across both clusters.
 """
 
-import pytest
 
 from repro import GPT2MoEConfig, build_training_graph
 from repro.bench import format_table

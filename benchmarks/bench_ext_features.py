@@ -11,7 +11,6 @@ on top of full Lancet:
   whose computation naturally hides under the all-to-all.
 """
 
-import pytest
 
 from repro import GPT2MoEConfig, LancetOptimizer, build_training_graph
 from repro.bench import format_table

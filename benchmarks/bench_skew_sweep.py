@@ -1,0 +1,39 @@
+"""Skew sweep: skew-aware plans vs the uniform approximation (extension).
+
+For each hot-expert intensity, two Lancet plans are produced for the same
+program -- one priced with the uniform static-shape approximation, one
+conditioned on the observed routing signature -- and both are simulated
+per-device under the same realized routing.  The skew-aware plan should
+never lose, and must win under real hot-expert skew (hotness >= 2x).
+"""
+
+from conftest import run_figure
+from repro.bench.figures import skew_sweep
+
+
+def test_skew_sweep(benchmark):
+    result = run_figure(benchmark, skew_sweep.run)
+    by_boost = {r["hot_boost"]: r for r in result.rows}
+
+    # a hot-expert scenario with >= 2x bottleneck load must be in the grid
+    hot = [r for r in result.rows if r["hotness"] >= 2.0]
+    assert hot, f"no hot scenario reached 2x (max {result.notes['max_hotness']})"
+    # ... and there the skew-aware plan strictly beats the uniform plan
+    for r in hot:
+        assert r["iter_skew_plan_ms"] < r["iter_uniform_plan_ms"]
+
+    # the skew-aware plan never loses, at any intensity
+    for r in result.rows:
+        assert r["iter_skew_plan_ms"] <= r["iter_uniform_plan_ms"] * 1.001
+
+    # skew-aware prediction tracks the per-device ground truth more
+    # closely than the uniform prediction under the strongest skew
+    worst = by_boost[max(by_boost)]
+    err_skew = abs(worst["predicted_skew_ms"] - worst["iter_skew_plan_ms"])
+    err_unif = abs(
+        worst["predicted_uniform_ms"] - worst["iter_uniform_plan_ms"]
+    )
+    assert err_skew < err_unif
+
+    # re-optimization cost is recorded and small (paper Fig. 15 scale)
+    assert all(0 < r["reopt_seconds"] < 60 for r in result.rows)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json records against checked-in baselines.
+
+Every figure runner may publish ``notes.regression_metrics``: a flat
+mapping of metric name -> value where **lower is better** (simulated
+milliseconds, so values are deterministic across machines).  A run
+regresses when any metric exceeds its baseline by more than the
+tolerance (default 20%).
+
+Usage:
+    python benchmarks/check_regression.py \
+        benchmarks/results/BENCH_skew_sweep.json \
+        [more results...] \
+        [--baseline-dir benchmarks/baselines] [--tolerance 0.20]
+
+Exit status: 0 = within tolerance, 1 = regression (or missing baseline
+metric), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+
+
+def load_metrics(path: pathlib.Path) -> dict[str, float]:
+    record = json.loads(path.read_text())
+    metrics = record.get("notes", {}).get("regression_metrics", {})
+    return {str(k): float(v) for k, v in metrics.items()}
+
+
+def compare(
+    result_path: pathlib.Path,
+    baseline_path: pathlib.Path,
+    tolerance: float,
+) -> list[str]:
+    """Returns a list of human-readable failures (empty = pass)."""
+    current = load_metrics(result_path)
+    baseline = load_metrics(baseline_path)
+    failures = []
+    for name, base in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{result_path.name}: metric {name!r} disappeared")
+            continue
+        limit = base * (1.0 + tolerance)
+        status = "OK" if now <= limit else "REGRESSION"
+        print(
+            f"  {name}: {now:.4f} vs baseline {base:.4f} "
+            f"(limit {limit:.4f}) {status}"
+        )
+        if now > limit:
+            failures.append(
+                f"{result_path.name}: {name} regressed "
+                f"{now:.4f} > {base:.4f} * {1 + tolerance:.2f}"
+            )
+    new_metrics = sorted(set(current) - set(baseline))
+    if new_metrics:
+        print(f"  (not in baseline, informational: {new_metrics})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", type=pathlib.Path)
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path, default=DEFAULT_BASELINE_DIR
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for result_path in args.results:
+        if not result_path.exists():
+            print(f"missing result file: {result_path}", file=sys.stderr)
+            return 2
+        baseline_path = args.baseline_dir / result_path.name
+        if not baseline_path.exists():
+            print(f"no baseline for {result_path.name}; skipping comparison")
+            continue
+        print(f"{result_path.name}:")
+        failures.extend(compare(result_path, baseline_path, args.tolerance))
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

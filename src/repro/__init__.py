@@ -19,8 +19,6 @@ Typical usage::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
-__version__ = "1.0.0"
-
 from .core import (
     LancetHyperParams,
     LancetOptimizer,
@@ -40,6 +38,8 @@ from .runtime import (
     simulate_cluster,
     simulate_program,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "ClusterSpec",

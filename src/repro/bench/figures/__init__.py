@@ -1,11 +1,23 @@
 """Per-figure experiment runners (one module per paper figure)."""
 
-from . import fig02, fig06, fig11, fig13, fig14, fig15, fig16, headline, imbalance
+from . import (
+    fig02,
+    fig06,
+    fig11,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    headline,
+    imbalance,
+    skew_sweep,
+)
 from .common import FigureResult
 
 #: figure id -> callable returning a FigureResult (fig12 is fig11 with
 #: the Batch Prioritized gate, as in the paper; "imbalance" is an
-#: extension: the per-device load-skew scenario family)
+#: extension: the per-device load-skew scenario family, and
+#: "skew_sweep" compares uniform vs skew-aware plans across hotness)
 ALL_FIGURES = {
     "fig02": fig02.run,
     "fig06": fig06.run,
@@ -17,6 +29,7 @@ ALL_FIGURES = {
     "fig16": fig16.run,
     "headline": headline.run,
     "imbalance": imbalance.run,
+    "skew_sweep": skew_sweep.run,
 }
 
 __all__ = ["ALL_FIGURES", "FigureResult"]

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ...core import CachingOpProfiler, CommCostModel, CostEstimator
-from ...models import GPT2MoEConfig, build_training_graph
-from ...models.gpt2_moe import ModelGraph, build_forward
 from ...runtime import (
     COMPILED,
     ClusterSpec,

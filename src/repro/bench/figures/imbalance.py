@@ -148,6 +148,11 @@ def run(
     notes = {
         "max_slowdown": max(r["slowdown_vs_uniform"] for r in rows),
         "max_a2a_spread_ms": max(r["a2a_spread_ms"] for r in rows),
+        # lower-is-better gates for the CI regression check
+        "regression_metrics": {
+            f"{r['framework']}/{r['scenario']}_iter_ms": r["iteration_ms"]
+            for r in rows
+        },
     }
     return FigureResult(
         "imbalance", "per-device load-imbalance scenarios", rows, table, notes

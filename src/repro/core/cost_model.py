@@ -10,6 +10,14 @@ n-way-partitioned all-to-all with original capacity ``C`` is the profiled
 (uniform) cost at capacity ``C / n``.  :meth:`CommCostModel.a2a_partitioned_ms`
 implements exactly that, which is where the (small) prediction error of
 Fig. 14 comes from.
+
+Beyond the paper, :meth:`CommCostModel.a2a_skewed_ms` conditions the
+estimate on a realized routing distribution: given a per-device load
+vector (:class:`~repro.runtime.routing_model.RoutingSignature`, derived
+from observed dispatch counts), the collective is priced at the
+*bottleneck* device's bytes instead of the uniform mean.  With a
+balanced signature this reduces to the legacy static-shape estimate
+bit-for-bit, so skew-awareness is strictly opt-in.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import numpy as np
 
 from ..ir import Instruction, Program
 from ..runtime.cluster import ClusterSpec
+from ..runtime.routing_model import RoutingSignature
 from .profiler import CachingOpProfiler
 
 
@@ -46,6 +55,14 @@ class CommCostModel:
     @staticmethod
     def _interp(pts: tuple, nbytes: float) -> float:
         sizes, times = pts
+        if nbytes > sizes[-1]:
+            # beyond the profiled range: extrapolate with the bandwidth
+            # (slope) of the last profiled segment instead of clamping,
+            # so multi-GB buffers are not priced as if they were 2 GB
+            slope = (times[-1] - times[-2]) / (sizes[-1] - sizes[-2])
+            return float(times[-1] + (nbytes - sizes[-1]) * slope)
+        # below min_bytes np.interp clamps to the smallest sample, which
+        # is the latency floor -- the right model for tiny buffers
         return float(np.interp(nbytes, sizes, times))
 
     def a2a_ms(self, nbytes: float) -> float:
@@ -58,6 +75,35 @@ class CommCostModel:
         if parts < 1:
             raise ValueError("parts must be >= 1")
         return self.a2a_ms(full_nbytes / parts)
+
+    def a2a_skewed_ms(
+        self,
+        full_nbytes: float,
+        parts: int = 1,
+        signature: RoutingSignature | None = None,
+    ) -> float:
+        """Routing-conditioned estimate of one (chunk of an) irregular
+        all-to-all: the collective completes with its bottleneck device,
+        so it is priced at that device's *realized* bytes,
+        ``signature.mean_send_bytes * signature.bottleneck`` (falling
+        back to the static ``full_nbytes`` scale when the signature
+        carries no absolute volume).  Capacity clipping makes realized
+        traffic differ from the padded size in both directions, which is
+        exactly the error the uniform static-shape approximation makes.
+
+        With ``signature=None`` or a balanced signature this is exactly
+        :meth:`a2a_partitioned_ms` (same float ops, bit-for-bit).
+        """
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        if signature is None or signature.bottleneck == 1.0:
+            return self.a2a_ms(full_nbytes / parts)
+        base = (
+            signature.mean_send_bytes
+            if signature.mean_send_bytes > 0
+            else full_nbytes
+        )
+        return self.a2a_ms(base * signature.bottleneck / parts)
 
     def allreduce_ms(self, nbytes: float) -> float:
         """Predicted all-reduce time for a gradient bucket."""
@@ -73,10 +119,67 @@ class CostEstimator:
     *plan* with; the ground-truth simulator may disagree (irregular
     realized sizes, load imbalance), which is what the Fig. 14 accuracy
     experiment quantifies.
+
+    When per-layer :class:`RoutingSignature` observations are installed
+    via :meth:`set_signatures`, every irregular all-to-all estimate is
+    conditioned on its layer's realized load distribution, which is what
+    makes the dW-schedule pass and the partition DP optimize for the
+    actual routing rather than the uniform approximation.
     """
 
     profiler: CachingOpProfiler
     comm: CommCostModel
+    #: per-MoE-layer routing observations (layer key -> signature); the
+    #: ``None`` key acts as the default for layers without their own entry
+    signatures: dict | None = None
+    #: memoized all-to-all predictions.  Keyed by (bytes, parts,
+    #: signature key) -- the signature component guarantees entries
+    #: cached under uniform routing are never reused once the estimator
+    #: is re-targeted at a skewed realization (and vice versa).
+    _a2a_cache: dict = field(default_factory=dict, repr=False)
+
+    def set_signatures(self, signatures: dict | None) -> None:
+        """Install (or clear, with ``None``) routing observations.
+
+        The prediction cache is *not* flushed: its keys embed the
+        signature, so stale uniform-routing entries cannot leak into
+        skew-aware queries after a re-optimization.
+        """
+        self.signatures = dict(signatures) if signatures else None
+
+    def signature_for(self, instr: Instruction) -> RoutingSignature | None:
+        """The routing signature governing one all-to-all, if any."""
+        if not self.signatures:
+            return None
+        key = instr.attrs.get("moe_layer", instr.origin or instr.uid)
+        sig = self.signatures.get(key)
+        if sig is None:
+            sig = self.signatures.get(None)
+        return sig
+
+    def _a2a_irregular_ms(
+        self, nbytes: float, parts: int, sig: RoutingSignature | None
+    ) -> float:
+        key = (nbytes, parts, None if sig is None else sig.key(digits=6))
+        hit = self._a2a_cache.get(key)
+        if hit is None:
+            hit = self.comm.a2a_skewed_ms(nbytes, parts, sig)
+            self._a2a_cache[key] = hit
+        return hit
+
+    def a2a_chunk_ms(
+        self, instr: Instruction, program: Program, parts: int, irregular: bool
+    ) -> float:
+        """Predicted duration of one chunk of a *planned* k-way split of
+        an all-to-all (used by the pipeline scheduler before any IR is
+        rewritten).  Irregular chunks use the static-shape approximation,
+        conditioned on the layer's routing signature when one is set."""
+        nbytes = float(program.type_of(instr.inputs[0]).nbytes)
+        if irregular:
+            return self._a2a_irregular_ms(
+                nbytes, parts, self.signature_for(instr)
+            )
+        return self.comm.a2a_ms(nbytes / parts)
 
     def duration_ms(self, instr: Instruction, program: Program) -> float:
         """Predicted duration of one instruction."""
@@ -91,11 +194,13 @@ class CostEstimator:
                 if tokens is not None and buf_t.rank == 3:
                     slots = buf_t.shape[0] * buf_t.shape[1]
                     nbytes *= min(1.0, tokens / slots)
+                parts = 1
                 if instr.partition is not None:
                     # chunk of an irregular A2A: static-shape approximation
-                    return self.comm.a2a_partitioned_ms(
-                        nbytes, instr.partition[1]
-                    )
+                    parts = instr.partition[1]
+                return self._a2a_irregular_ms(
+                    nbytes, parts, self.signature_for(instr)
+                )
             return self.comm.a2a_ms(nbytes)
         if instr.op == "allreduce":
             nbytes = float(program.type_of(instr.inputs[0]).nbytes)

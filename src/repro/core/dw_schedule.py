@@ -50,6 +50,10 @@ class DWScheduleReport:
     records: list[A2AOverlapRecord] = field(default_factory=list)
     num_dw_total: int = 0
     num_dw_moved: int = 0
+    #: True when all-to-all durations (the overlap budgets) were priced
+    #: against observed routing signatures -- a skewed realization means
+    #: longer all-to-alls and therefore room for more dW overlap
+    skew_aware: bool = False
 
     @property
     def total_a2a_ms(self) -> float:
@@ -146,7 +150,10 @@ class WeightGradSchedulePass(Pass):
         dw_pos = np.array(
             [i for i in range(n) if instrs[i].kind == InstrKind.DW], dtype=np.int64
         )
-        self.report = DWScheduleReport(num_dw_total=len(dw_pos))
+        self.report = DWScheduleReport(
+            num_dw_total=len(dw_pos),
+            skew_aware=bool(self.costs.signatures),
+        )
         if not a2a_pos or len(dw_pos) == 0:
             return program
 

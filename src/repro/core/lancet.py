@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ir import PassManager, PassTiming, Program, validate
+from ..ir import PassManager, PassTiming, Program
 from ..models.gpt2_moe import ModelGraph
 from ..runtime.cluster import ClusterSpec
 from ..runtime.device import COMPILED, FrameworkProfile
@@ -38,6 +38,14 @@ class LancetReport:
     partition: DPResult | None = None
     predicted_iteration_ms: float = 0.0
     profiled_ops: int = 0
+    #: per-MoE-layer routing signatures the passes optimized for
+    #: (``None`` = the legacy uniform static-shape approximation)
+    routing_signatures: dict | None = None
+
+    @property
+    def skew_aware(self) -> bool:
+        """Whether the plan was conditioned on observed routing."""
+        return bool(self.routing_signatures)
 
     @property
     def optimization_seconds(self) -> float:
@@ -58,6 +66,12 @@ class LancetOptimizer:
         The rho / gamma / iota knobs of the partition pass (Sec. 6).
     enable_dw_schedule / enable_partition:
         Ablation switches (paper Fig. 16).
+    routing_signatures:
+        Optional per-MoE-layer :class:`RoutingSignature` observations;
+        when set, both passes price irregular all-to-alls at the
+        bottleneck device's realized load instead of the uniform
+        approximation.  Install later observations with
+        :meth:`set_routing_signatures` or :meth:`observe_routing`.
     """
 
     def __init__(
@@ -68,6 +82,7 @@ class LancetOptimizer:
         enable_dw_schedule: bool = True,
         enable_partition: bool = True,
         defer_allreduce: bool = False,
+        routing_signatures: dict | None = None,
     ) -> None:
         self.cluster = cluster
         self.framework = framework
@@ -79,6 +94,43 @@ class LancetOptimizer:
         self.defer_allreduce = defer_allreduce
         self.profiler = CachingOpProfiler(gpu=cluster.gpu, framework=framework)
         self.costs = CostEstimator(self.profiler, CommCostModel(cluster))
+        if routing_signatures:
+            self.costs.set_signatures(routing_signatures)
+
+    def set_routing_signatures(self, signatures: dict | None) -> None:
+        """Re-target the cost oracle at new routing observations (or back
+        at the uniform approximation with ``None``).  Safe to call
+        between :meth:`optimize` runs: prediction caches key on the
+        signature, so stale entries are never reused."""
+        self.costs.set_signatures(signatures)
+
+    def observe_routing(self, program_or_graph, routing) -> dict:
+        """Extract per-layer signatures from a routing model's realization
+        for this program, install them, and return them.
+
+        ``routing`` is a :class:`SyntheticRoutingModel` (or any model
+        with the same ``pair_bytes_for`` surface); on real hardware this
+        step is replaced by reading the gate's dispatch counters.
+        """
+        from ..runtime.simulate import (
+            SimulationConfig,
+            observed_routing_signatures,
+        )
+
+        program = (
+            program_or_graph.program
+            if isinstance(program_or_graph, ModelGraph)
+            else program_or_graph
+        )
+        config = SimulationConfig(
+            cluster=self.cluster,
+            framework=self.framework,
+            padded_a2a=False,
+            routing=routing,
+        )
+        signatures = observed_routing_signatures(program, config)
+        self.costs.set_signatures(signatures or None)
+        return signatures
 
     def optimize(
         self, graph_or_program: ModelGraph | Program, check: bool = True
@@ -114,6 +166,9 @@ class LancetOptimizer:
             partition=part_pass.result if part_pass else None,
             predicted_iteration_ms=self.costs.predict_iteration_ms(work),
             profiled_ops=self.profiler.profile_count,
+            routing_signatures=(
+                dict(self.costs.signatures) if self.costs.signatures else None
+            ),
         )
         return work, report
 

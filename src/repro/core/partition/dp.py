@@ -17,15 +17,14 @@ Exactly as the paper prescribes for tractability:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...ir import Instruction, InstrKind, Program
+from ...ir import InstrKind, Program
 from ..cost_model import CostEstimator
 from .axis_inference import InferenceResult, infer_axes
-from .pipeline import max_feasible_parts, pipeline_cost_ms, sequential_cost_ms
+from .pipeline import max_feasible_parts, pipeline_cost_ms
 
 
 @dataclass(frozen=True)
@@ -98,6 +97,9 @@ class DPResult:
     optimized_fwd_ms: float = 0.0
     num_groups: int = 0
     num_cost_evals: int = 0
+    #: True when the DP priced all-to-alls against observed routing
+    #: signatures rather than the uniform static-shape approximation
+    skew_aware: bool = False
 
 
 def forward_length(program: Program) -> int:
@@ -183,7 +185,7 @@ def plan_partitions(
     group_ms = params.group_ms or _auto_group_ms(program, fwd_end, costs)
     groups = build_groups(program, fwd_end, costs, group_ms)
     ng = len(groups)
-    result = DPResult(num_groups=ng)
+    result = DPResult(num_groups=ng, skew_aware=bool(costs.signatures))
     if ng == 0:
         return result
 

@@ -20,8 +20,7 @@ from dataclasses import dataclass, field
 
 from ...ir import AXIS_IRREGULAR as IRR
 from ...ir import NOT_PARTITIONED as NP
-from ...ir import Dim, Instruction, Program, TensorType, get_op
-from ...ir.tensor import is_route_type
+from ...ir import Dim, Instruction, Program, TensorType
 from ..cost_model import CostEstimator
 from .axis_inference import InferenceResult
 
@@ -57,11 +56,12 @@ def chunk_duration_ms(
 ) -> float:
     """Predicted duration of one chunk of ``instr`` when split ``parts`` ways."""
     if instr.op == "all_to_all":
-        nbytes = float(program.type_of(instr.inputs[0]).nbytes)
         out_axis = axes.axis_of(instr.outputs[0])
-        if out_axis == IRR:
-            return costs.comm.a2a_partitioned_ms(nbytes, parts)
-        return costs.comm.a2a_ms(nbytes / parts)
+        # irregular chunks route through the estimator so the static-shape
+        # approximation is conditioned on the layer's routing signature
+        return costs.a2a_chunk_ms(
+            instr, program, parts, irregular=(out_axis == IRR)
+        )
 
     in_types = [
         chunk_type(program.type_of(v), axes.axis_of(v), parts)

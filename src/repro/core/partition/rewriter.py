@@ -28,7 +28,6 @@ from ...ir import AXIS_IRREGULAR as IRR
 from ...ir import NOT_PARTITIONED as NP
 from ...ir import Instruction, InstrKind, Program
 from ...ir.tensor import is_route_type
-from .axis_inference import InferenceResult
 from .dp import RangePlan
 from .pipeline import build_stages
 

@@ -19,7 +19,7 @@ capacity-passing partitioned gate (paper Fig. 5c), pipeline plumbing
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .tensor import Dim, DType, TensorType, route_type

@@ -9,7 +9,6 @@ instructions over SSA values, with designated *inputs* (per-iteration data),
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 
 from .instruction import Instruction, InstrKind
 from .ops import get_op

@@ -8,7 +8,7 @@ every cluster size (weak scaling of the expert count).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 #: Gating methods whose expert assignment can be decided from a prefix of

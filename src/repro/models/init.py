@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ir import Dim, DType
+from ..ir import DType
 from .gpt2_moe import ModelGraph
 
 

@@ -10,11 +10,11 @@ mathematical equivalence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .capacity import CapacityState, expert_capacity
+from .capacity import expert_capacity
 from .dispatch import (
     combine,
     combine_dprobs,

@@ -18,7 +18,7 @@ from ..moe.experts import expert_ffn_dw as moe_expert_ffn_dw
 from ..moe.experts import expert_ffn_dx as moe_expert_ffn_dx
 from ..moe.experts import gelu_grad
 from ..moe.layer import softmax as softmax_fn
-from .kernels import FORWARD_KERNELS, LN_EPS, _attention_heads, _attention_merge, kernel
+from .kernels import LN_EPS, _attention_heads, _attention_merge, kernel
 
 
 @kernel("matmul_dx")

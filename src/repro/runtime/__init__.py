@@ -24,12 +24,17 @@ from .device import (
     GPUSpec,
 )
 from .executor import DeviceEnv, NumericExecutor, run_program
-from .routing_model import SyntheticRoutingModel, UniformRoutingModel
+from .routing_model import (
+    RoutingSignature,
+    SyntheticRoutingModel,
+    UniformRoutingModel,
+)
 from .simulate import (
     DISPATCH_OPS,
     GroundTruthCost,
     SimulationConfig,
     iteration_time_ms,
+    observed_routing_signatures,
     simulate_cluster,
     simulate_program,
 )
@@ -64,6 +69,7 @@ __all__ = [
     "GroundTruthCost",
     "Interval",
     "NumericExecutor",
+    "RoutingSignature",
     "SimulationConfig",
     "SyntheticRoutingModel",
     "TUTEL",
@@ -78,6 +84,7 @@ __all__ = [
     "intersect_length",
     "iteration_time_ms",
     "merge_intervals",
+    "observed_routing_signatures",
     "overlap_summary",
     "render_cluster_timeline",
     "render_timeline",

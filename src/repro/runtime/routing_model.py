@@ -19,6 +19,117 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+@dataclass(frozen=True)
+class RoutingSignature:
+    """Compact, hashable summary of one routing realization.
+
+    ``load[i]`` is device ``i``'s relative all-to-all load: its busiest
+    byte stream (send or receive) divided by the mean per-device send
+    bytes.  Under perfectly balanced routing every entry is exactly
+    ``1.0``; a hot-expert owner shows up as an entry > 1.  The cost
+    model prices an irregular all-to-all at the bottleneck device's
+    *realized* bytes, ``mean_send_bytes * max(load)`` -- capacity
+    clipping means realized traffic can sit well below the padded
+    buffer, so the absolute scale matters as much as the shape.
+
+    Signatures are the currency of the re-optimization loop: the
+    optimizer plans against one, the trainer measures drift between
+    them, and plan caches are keyed by their quantized form.
+    """
+
+    load: tuple[float, ...]
+    #: realized mean per-device send bytes of the full (unpartitioned)
+    #: collective; 0.0 = unknown, pricing falls back to the static size
+    mean_send_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.load:
+            raise ValueError("signature needs at least one device load")
+        # zero is legal: extreme clipping can leave a device with no
+        # accepted traffic at all, and a zero load never bottlenecks
+        if any(v < 0 for v in self.load):
+            raise ValueError("device loads must be non-negative")
+
+    @classmethod
+    def uniform(cls, num_devices: int) -> "RoutingSignature":
+        """The balanced signature the legacy cost model assumes."""
+        return cls(load=(1.0,) * num_devices)
+
+    @classmethod
+    def from_pair_bytes(cls, pair_bytes: np.ndarray) -> "RoutingSignature":
+        """Signature of a realized pair-bytes matrix (``[s, d]`` bytes
+        from device s to device d, as in
+        :meth:`ClusterSpec.a2a_device_times_ms`)."""
+        pair = np.asarray(pair_bytes, dtype=np.float64)
+        send = pair.sum(axis=1)
+        recv = pair.sum(axis=0)
+        per_device = np.maximum(send, recv)
+        ref = send.mean()
+        if ref <= 0 or np.allclose(per_device, per_device[0], rtol=1e-12):
+            # balanced (or empty) realization: collapse to the exact
+            # uniform signature so skew-aware pricing reduces to the
+            # legacy estimate bit-for-bit
+            return cls.uniform(pair.shape[0])
+        return cls(
+            load=tuple(float(v) for v in per_device / ref),
+            mean_send_bytes=float(ref),
+        )
+
+    @classmethod
+    def from_counts(
+        cls, counts: np.ndarray, bytes_per_token: float = 1.0
+    ) -> "RoutingSignature":
+        """Signature from observed dispatch counts ``[devices, experts]``
+        (expert ``e`` owned by device ``e // (E / G)``)."""
+        counts = np.asarray(counts, dtype=np.float64)
+        g, e = counts.shape
+        if e % g != 0:
+            raise ValueError(f"experts ({e}) must divide evenly over {g} devices")
+        per_owner = counts.reshape(g, g, e // g).sum(axis=2)
+        return cls.from_pair_bytes(per_owner * float(bytes_per_token))
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.load)
+
+    @property
+    def bottleneck(self) -> float:
+        """Relative load of the busiest device (1.0 = balanced)."""
+        return max(self.load)
+
+    @property
+    def is_uniform(self) -> bool:
+        return all(v == 1.0 for v in self.load)
+
+    def drift_from(self, other: "RoutingSignature") -> float:
+        """Routing drift vs another signature.
+
+        The larger of (i) the mean absolute per-device load change (a
+        hot expert moving 2x traffic to one of G devices contributes
+        ~1/G) and (ii) the relative change in realized traffic volume.
+        0 for identical realizations; this is the quantity the
+        re-optimization loop thresholds on.
+        """
+        if other.num_devices != self.num_devices:
+            raise ValueError("signatures cover different device counts")
+        a = np.asarray(self.load)
+        b = np.asarray(other.load)
+        drift = float(np.abs(a - b).mean())
+        if self.mean_send_bytes > 0 and other.mean_send_bytes > 0:
+            hi = max(self.mean_send_bytes, other.mean_send_bytes)
+            drift = max(
+                drift,
+                abs(self.mean_send_bytes - other.mean_send_bytes) / hi,
+            )
+        return drift
+
+    def key(self, digits: int = 2) -> tuple:
+        """Quantized form for plan-cache keys: nearby realizations that
+        would yield the same plan share a key."""
+        scale = round(self.mean_send_bytes / 2.0**20, digits)
+        return (scale,) + tuple(round(v, digits) for v in self.load)
+
+
 @dataclass
 class SyntheticRoutingModel:
     """Samples realized per-(device, expert) token counts.

@@ -32,10 +32,14 @@ import numpy as np
 
 import math
 
-from ..ir import Dim, InstrKind, Instruction, Program, Stream, TensorType, get_op
+from ..ir import Dim, Instruction, Program, Stream, TensorType, get_op
 from .cluster import ClusterSpec
 from .device import COMPILED, FrameworkProfile
-from .routing_model import SyntheticRoutingModel, UniformRoutingModel
+from .routing_model import (
+    RoutingSignature,
+    SyntheticRoutingModel,
+    UniformRoutingModel,
+)
 from .timeline import ClusterTimeline, Interval, Timeline
 
 #: Ops whose kernel time is scaled by the framework's dispatch multiplier
@@ -394,3 +398,36 @@ def iteration_time_ms(
 ) -> float:
     """Convenience: simulated makespan of one iteration."""
     return simulate_program(program, config=config).makespan
+
+
+def observed_routing_signatures(
+    program: Program, config: SimulationConfig
+) -> dict[object, RoutingSignature]:
+    """Per-MoE-layer routing signatures of a config's realized routing.
+
+    Walks the program's irregular all-to-alls, resolves each layer's
+    realized pair-bytes matrix under ``config.routing`` (the same draw
+    the ground-truth simulator will see, thanks to the per-layer-key
+    cache), and summarizes it as a :class:`RoutingSignature`.  This is
+    what the skew-aware optimizer plans against; on real hardware the
+    counts would come from the gate's dispatch statistics instead.
+
+    Returns an empty dict for padded configs (no realized irregularity).
+    """
+    cost = GroundTruthCost(config)
+    signatures: dict[object, RoutingSignature] = {}
+    for instr in program.instructions:
+        if instr.op != "all_to_all" or not instr.attrs.get("irregular"):
+            continue
+        key = instr.attrs.get("moe_layer", instr.origin or instr.uid)
+        if key in signatures:
+            continue
+        pair = cost.a2a_pair_bytes(instr, program)
+        if pair is None:
+            continue
+        if instr.partition is not None:
+            # a chunk carries 1/k of the layer's traffic; scale back to
+            # the full collective so the signature is chunk-independent
+            pair = pair * instr.partition[1]
+        signatures[key] = RoutingSignature.from_pair_bytes(pair)
+    return signatures

@@ -1,7 +1,19 @@
 """Training substrate: synthetic data, optimizer, numeric training loop."""
 
 from .data import SyntheticCorpus
-from .loop import StepResult, Trainer
+from .loop import (
+    ReoptimizationEvent,
+    ReoptimizingTrainer,
+    StepResult,
+    Trainer,
+)
 from .optimizer import SGD
 
-__all__ = ["SGD", "StepResult", "SyntheticCorpus", "Trainer"]
+__all__ = [
+    "SGD",
+    "ReoptimizationEvent",
+    "ReoptimizingTrainer",
+    "StepResult",
+    "SyntheticCorpus",
+    "Trainer",
+]

@@ -6,18 +6,30 @@ numerically, and carries updated parameters / momentum into the next
 step.  Works with any schedule -- original or Lancet-optimized -- which
 is how the examples demonstrate that optimization leaves the training
 trajectory bit-for-bit unchanged.
+
+:class:`ReoptimizingTrainer` closes the loop between execution and
+planning: each step it reads the gate's *observed* dispatch counts from
+the numeric run, summarizes them as per-layer routing signatures,
+measures drift against the signatures the current schedule was optimized
+for, and re-runs :class:`~repro.core.LancetOptimizer` (with a
+signature-keyed plan cache) when the workload has shifted enough that
+the plan is stale.  Because Lancet's transformations are numerically
+exact, swapping schedules mid-training leaves the trajectory
+bit-for-bit unchanged -- only the (simulated) iteration time moves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..ir import Program
 from ..models.gpt2_moe import ModelGraph
 from ..models.init import init_param_values
-from ..runtime.executor import NumericExecutor
+from ..runtime.executor import DeviceEnv, NumericExecutor
+from ..runtime.routing_model import RoutingSignature
 from .data import SyntheticCorpus
 
 
@@ -93,6 +105,7 @@ class Trainer:
             vals[ids_vid], vals[labels_vid] = batches[d]
             envs.append(vals)
         results = self.executor.run(self.executor.make_envs(envs))
+        self._observe_step(results)
 
         losses = [float(env[self.graph.loss]) for env in results]
         # carry updated params and momentum into the next step
@@ -110,6 +123,11 @@ class Trainer:
         self.history.append(result)
         return result
 
+    def _observe_step(self, results: list[DeviceEnv]) -> None:
+        """Hook: inspect the finished step's device environments before
+        they are discarded (overridden by :class:`ReoptimizingTrainer`
+        to read the gate's dispatch counts)."""
+
     def run(self, steps: int) -> list[StepResult]:
         """Run several steps; returns the per-step results."""
         return [self.step() for _ in range(steps)]
@@ -117,3 +135,183 @@ class Trainer:
     def loss_curve(self) -> list[float]:
         """Mean loss per executed step."""
         return [r.mean_loss for r in self.history]
+
+
+@dataclass
+class ReoptimizationEvent:
+    """Record of one schedule re-optimization (or cache reuse)."""
+
+    step: int
+    drift: float
+    cache_hit: bool
+    #: wall time of the optimizer run (0.0 on a plan-cache hit)
+    wall_seconds: float
+    predicted_ms: float
+    signature_key: tuple
+
+
+class ReoptimizingTrainer(Trainer):
+    """Trainer that re-plans the schedule as the routing shifts.
+
+    Parameters
+    ----------
+    graph:
+        The model graph to train.
+    optimizer:
+        A configured :class:`~repro.core.LancetOptimizer`; its cost
+        estimator is re-targeted at each new routing observation (the
+        prediction caches key on the signature, so this is safe).
+    drift_threshold:
+        Re-optimize when any layer's observed signature drifts more than
+        this from the signature the current plan was optimized for
+        (see :meth:`RoutingSignature.drift_from`).
+    cache_digits:
+        Quantization used for plan-cache keys: realizations whose loads
+        round to the same values reuse the cached schedule instead of
+        paying the optimizer wall time again.
+    """
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        optimizer,
+        drift_threshold: float = 0.05,
+        cache_digits: int = 2,
+        seed: int = 0,
+        lr_corpus_alpha: float = 1.1,
+        parallel: bool | None = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.drift_threshold = drift_threshold
+        self.cache_digits = cache_digits
+        # initial schedule: optimized for the uniform approximation
+        # (no routing has been observed yet)
+        optimizer.set_routing_signatures(None)
+        program, report = optimizer.optimize(graph)
+        super().__init__(
+            graph,
+            program=program,
+            seed=seed,
+            lr_corpus_alpha=lr_corpus_alpha,
+            parallel=parallel,
+        )
+        #: signatures the *current* schedule was optimized for
+        self.plan_signatures: dict[object, RoutingSignature] = {}
+        self.predicted_ms = report.predicted_iteration_ms
+        #: plan cache: quantized signature key -> (program, predicted_ms)
+        self._plan_cache: dict[tuple, tuple[Program, float]] = {}
+        self.events: list[ReoptimizationEvent] = []
+        self._observed: dict[object, RoutingSignature] = {}
+        self._routing_vids = self._find_routing_values()
+
+    # -- routing observation ---------------------------------------------------
+
+    def _find_routing_values(self) -> dict[object, list[int]]:
+        """Map each MoE layer to the output value ids of its gate
+        instructions in the *current* program (``routing`` ops, or the
+        ``routing_partial`` chunks a partitioned schedule splits them
+        into)."""
+        layer_of_uid = {ml.routing_uid: ml.layer for ml in self.graph.moe_layers}
+        by_layer: dict[object, list[int]] = {}
+        for ins in self.program.instructions:
+            if ins.op not in ("routing", "routing_partial"):
+                continue
+            layer = layer_of_uid.get(ins.uid)
+            if layer is None and ins.origin is not None:
+                layer = layer_of_uid.get(ins.origin)
+            if layer is None:
+                continue
+            by_layer.setdefault(layer, []).append(ins.outputs[0])
+        return by_layer
+
+    def _observe_step(self, results: list[DeviceEnv]) -> None:
+        """Read the realized dispatch counts of every MoE layer from the
+        step's routing info values -- the simulation counterpart of
+        reading the gate's dispatch counters on real hardware."""
+        h_bytes = float(self.graph.cfg.hidden) * 2.0  # f16 activations
+        self._observed = {}
+        for layer, vids in self._routing_vids.items():
+            counts = np.stack(
+                [
+                    np.sum([env[v].expert_counts() for v in vids], axis=0)
+                    for env in results
+                ]
+            )
+            self._observed[layer] = RoutingSignature.from_counts(
+                counts, bytes_per_token=h_bytes
+            )
+
+    # -- the control loop ------------------------------------------------------
+
+    def routing_drift(self) -> float:
+        """Max drift of the latest observation vs the current plan's
+        signatures (uniform where the plan has no entry for a layer)."""
+        drift = 0.0
+        for layer, sig in self._observed.items():
+            ref = self.plan_signatures.get(
+                layer, RoutingSignature.uniform(sig.num_devices)
+            )
+            drift = max(drift, sig.drift_from(ref))
+        return drift
+
+    def _signature_key(self) -> tuple:
+        return tuple(
+            (layer, sig.key(self.cache_digits))
+            for layer, sig in sorted(self._observed.items())
+        )
+
+    def step(self) -> StepResult:
+        result = super().step()
+        drift = self.routing_drift()
+        if drift <= self.drift_threshold or not self._observed:
+            return result
+        key = self._signature_key()
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            program, predicted = cached
+            wall = 0.0
+        else:
+            t0 = time.perf_counter()
+            self.optimizer.set_routing_signatures(dict(self._observed))
+            program, report = self.optimizer.optimize(self.graph)
+            wall = time.perf_counter() - t0
+            predicted = report.predicted_iteration_ms
+            self._plan_cache[key] = (program, predicted)
+        self._install_program(program, predicted)
+        self.plan_signatures = dict(self._observed)
+        self.events.append(
+            ReoptimizationEvent(
+                step=result.step,
+                drift=drift,
+                cache_hit=cached is not None,
+                wall_seconds=wall,
+                predicted_ms=predicted,
+                signature_key=key,
+            )
+        )
+        return result
+
+    def _install_program(self, program: Program, predicted_ms: float) -> None:
+        """Swap in a re-optimized schedule.  Lancet's rewrites are
+        numerically exact and preserve parameter / state value ids, so
+        the carried training state keeps working unchanged."""
+        if program is self.program:
+            return
+        self.executor.close()
+        self.program = program
+        self.executor = NumericExecutor(
+            program, self.g, parallel=self.executor.parallel
+        )
+        self._updated = self._update_map()
+        self._routing_vids = self._find_routing_values()
+        self.predicted_ms = predicted_ms
+
+    @property
+    def reoptimization_seconds(self) -> float:
+        """Total wall time spent re-running the optimizer (cache hits
+        are free)."""
+        return sum(e.wall_seconds for e in self.events)
+
+    @property
+    def num_reoptimizations(self) -> int:
+        return len(self.events)

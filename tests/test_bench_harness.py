@@ -3,9 +3,7 @@
 import pytest
 
 from repro.bench import (
-    Measurement,
     Setting,
-    clear_cache,
     estimate_memory_gb,
     format_table,
     model_by_name,

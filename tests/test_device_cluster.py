@@ -10,8 +10,6 @@ from repro.runtime import (
     TUTEL,
     V100,
     ClusterSpec,
-    FrameworkProfile,
-    GPUSpec,
 )
 
 

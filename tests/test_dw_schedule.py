@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.testing import fresh_values
-from repro.ir import InstrKind, validate, verify_schedulable
+from repro.ir import validate, verify_schedulable
 from repro.core import (
     CachingOpProfiler,
     CommCostModel,
@@ -14,7 +14,6 @@ from repro.core import (
 )
 from repro.runtime import (
     COMPILED,
-    ClusterSpec,
     SimulationConfig,
     UniformRoutingModel,
     run_program,

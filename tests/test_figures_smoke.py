@@ -24,6 +24,7 @@ class TestRegistry:
             "fig16",
             "headline",
             "imbalance",
+            "skew_sweep",
         }
 
 

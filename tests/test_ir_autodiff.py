@@ -1,6 +1,5 @@
 """Unit tests for the autodiff backward builder."""
 
-import pytest
 
 from repro.ir import (
     Dim,
@@ -10,7 +9,6 @@ from repro.ir import (
     TensorType,
     build_backward,
     insert_gradient_sync,
-    insert_sgd,
     validate,
 )
 

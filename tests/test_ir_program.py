@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import Dim, DType, InstrKind, Program, TensorType, validate
+from repro.ir import DType, InstrKind, Program, TensorType, validate
 from repro.ir.validate import ValidationError
 
 

@@ -1,7 +1,6 @@
 """Finite-difference checks for the dense numpy kernels."""
 
 import numpy as np
-import pytest
 
 from repro.numerics import FORWARD_KERNELS
 

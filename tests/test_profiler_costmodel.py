@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import CachingOpProfiler, CommCostModel, CostEstimator
-from repro.ir import Dim, DType, TensorType
-from repro.runtime import COMPILED, TUTEL, ClusterSpec
+from repro.ir import DType, TensorType
+from repro.runtime import COMPILED, TUTEL
 
 
 @pytest.fixture()
@@ -93,6 +93,66 @@ class TestCommCostModel:
         )
         with pytest.raises(ValueError):
             comm.a2a_partitioned_ms(full, 0)
+
+    def test_sub_min_bytes_clamps_to_latency_floor(self, comm, a100_16):
+        """Buffers below the smallest profiled size cost the latency
+        floor -- never less, and never a negative extrapolation."""
+        floor = comm.a2a_ms(comm.min_bytes)
+        for nbytes in (0.0, 1.0, 512.0, comm.min_bytes / 2):
+            assert comm.a2a_ms(nbytes) == floor
+            assert comm.allreduce_ms(nbytes) == comm.allreduce_ms(
+                comm.min_bytes
+            )
+        assert floor > 0
+
+    def test_beyond_max_bytes_extrapolates(self, comm, a100_16):
+        """Buffers past the 2 GB anchor extrapolate at the last profiled
+        bandwidth instead of clamping flat (8 GB must cost ~4x 2 GB)."""
+        at_max = comm.a2a_ms(comm.max_bytes)
+        beyond = comm.a2a_ms(4 * comm.max_bytes)
+        assert beyond > at_max
+        # the analytic network model is linear in bytes up there, so the
+        # extrapolation should agree with it closely
+        assert beyond == pytest.approx(
+            a100_16.a2a_time_ms(4 * comm.max_bytes), rel=1e-6
+        )
+        assert comm.allreduce_ms(4 * comm.max_bytes) == pytest.approx(
+            a100_16.allreduce_time_ms(4 * comm.max_bytes), rel=1e-6
+        )
+
+    def test_skewed_reduces_to_legacy_exactly(self, comm):
+        """A balanced (or absent) signature must reproduce the legacy
+        static-shape estimate bit-for-bit."""
+        from repro.runtime import RoutingSignature
+
+        full = 3 * 2**22
+        for parts in (1, 2, 4):
+            legacy = comm.a2a_partitioned_ms(full, parts)
+            assert comm.a2a_skewed_ms(full, parts) == legacy
+            assert (
+                comm.a2a_skewed_ms(full, parts, RoutingSignature.uniform(16))
+                == legacy
+            )
+        with pytest.raises(ValueError):
+            comm.a2a_skewed_ms(full, 0)
+
+    def test_skewed_prices_bottleneck_bytes(self, comm):
+        """A skewed signature prices at mean_send_bytes * bottleneck."""
+        from repro.runtime import RoutingSignature
+
+        sig = RoutingSignature(
+            load=(2.0,) + (14.0 / 15.0,) * 15, mean_send_bytes=2**22
+        )
+        expected = comm.a2a_ms(2**22 * 2.0)
+        assert comm.a2a_skewed_ms(2**24, 1, sig) == expected
+        assert comm.a2a_skewed_ms(2**24, 4, sig) == comm.a2a_ms(
+            2**22 * 2.0 / 4
+        )
+        # without an absolute volume, fall back to the static size
+        rel_only = RoutingSignature(load=sig.load)
+        assert comm.a2a_skewed_ms(2**24, 1, rel_only) == comm.a2a_ms(
+            2**24 * 2.0
+        )
 
 
 class TestCostEstimator:

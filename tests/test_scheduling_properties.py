@@ -1,7 +1,6 @@
 """Property-based tests for scheduling invariants (legalizer, pipeline
 scheduler, chunk typing) using hypothesis."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.ir import DType, InstrKind, Program, Stream, TensorType
+from repro.ir import DType, Program, Stream, TensorType
 from repro.runtime import (
-    Breakdown,
     ClusterSpec,
     GroundTruthCost,
     SimulationConfig,
