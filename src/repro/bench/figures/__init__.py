@@ -10,6 +10,7 @@ from . import (
     fig16,
     headline,
     imbalance,
+    opt_time,
     skew_sweep,
 )
 from .common import FigureResult
@@ -29,6 +30,7 @@ ALL_FIGURES = {
     "fig16": fig16.run,
     "headline": headline.run,
     "imbalance": imbalance.run,
+    "opt_time": opt_time.run,
     "skew_sweep": skew_sweep.run,
 }
 

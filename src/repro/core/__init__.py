@@ -1,5 +1,6 @@
 """Lancet core: the paper's contribution, as compiler passes over the IR."""
 
+from .cache import LRUCache
 from .comm_priority import GradSyncDeferPass
 from .cost_model import CommCostModel, CostEstimator
 from .dw_schedule import (
@@ -14,10 +15,12 @@ from .partition import (
     InferenceResult,
     LancetHyperParams,
     OperatorPartitionPass,
+    PlannerState,
     RangePlan,
     infer_axes,
     pipeline_cost_ms,
     plan_partitions,
+    plan_partitions_reference,
 )
 from .profiler import CachingOpProfiler
 
@@ -30,14 +33,17 @@ __all__ = [
     "DWScheduleReport",
     "GradSyncDeferPass",
     "InferenceResult",
+    "LRUCache",
     "LancetHyperParams",
     "LancetOptimizer",
     "LancetReport",
     "OperatorPartitionPass",
+    "PlannerState",
     "RangePlan",
     "WeightGradSchedulePass",
     "infer_axes",
     "legalize_order",
     "pipeline_cost_ms",
     "plan_partitions",
+    "plan_partitions_reference",
 ]

@@ -29,7 +29,14 @@ import numpy as np
 from ..ir import Instruction, Program
 from ..runtime.cluster import ClusterSpec
 from ..runtime.routing_model import RoutingSignature
+from .cache import LRUCache
 from .profiler import CachingOpProfiler
+
+#: default bound of the signature-keyed all-to-all prediction cache.
+#: Long runs with many distinct routing signatures otherwise grow it
+#: without limit; 4096 entries comfortably cover every (bytes, parts)
+#: pair of a large model times dozens of live signatures.
+DEFAULT_A2A_CACHE_SIZE = 4096
 
 
 @dataclass
@@ -132,11 +139,21 @@ class CostEstimator:
     #: per-MoE-layer routing observations (layer key -> signature); the
     #: ``None`` key acts as the default for layers without their own entry
     signatures: dict | None = None
+    #: LRU cap of the all-to-all prediction cache (``None`` = unbounded)
+    a2a_cache_size: int | None = DEFAULT_A2A_CACHE_SIZE
     #: memoized all-to-all predictions.  Keyed by (bytes, parts,
     #: signature key) -- the signature component guarantees entries
     #: cached under uniform routing are never reused once the estimator
-    #: is re-targeted at a skewed realization (and vice versa).
-    _a2a_cache: dict = field(default_factory=dict, repr=False)
+    #: is re-targeted at a skewed realization (and vice versa).  Bounded:
+    #: every distinct signature mints fresh keys, so an unbounded dict
+    #: would leak across a long re-optimizing run.
+    _a2a_cache: LRUCache = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._a2a_cache is None:
+            self._a2a_cache = LRUCache(
+                self.a2a_cache_size, name="a2a-estimates"
+            )
 
     def set_signatures(self, signatures: dict | None) -> None:
         """Install (or clear, with ``None``) routing observations.
@@ -164,7 +181,7 @@ class CostEstimator:
         hit = self._a2a_cache.get(key)
         if hit is None:
             hit = self.comm.a2a_skewed_ms(nbytes, parts, sig)
-            self._a2a_cache[key] = hit
+            self._a2a_cache.put(key, hit)
         return hit
 
     def a2a_chunk_ms(

@@ -19,12 +19,13 @@ from ..ir import PassManager, PassTiming, Program
 from ..models.gpt2_moe import ModelGraph
 from ..runtime.cluster import ClusterSpec
 from ..runtime.device import COMPILED, FrameworkProfile
-from .cost_model import CommCostModel, CostEstimator
+from .cost_model import DEFAULT_A2A_CACHE_SIZE, CommCostModel, CostEstimator
 from .dw_schedule import DWScheduleReport, WeightGradSchedulePass
 from .partition import (
     DPResult,
     LancetHyperParams,
     OperatorPartitionPass,
+    PlannerState,
 )
 from .profiler import CachingOpProfiler
 
@@ -41,11 +42,20 @@ class LancetReport:
     #: per-MoE-layer routing signatures the passes optimized for
     #: (``None`` = the legacy uniform static-shape approximation)
     routing_signatures: dict | None = None
+    #: hit/miss/eviction counters of every cache the optimizer leans on
+    #: (op profiler, signature-keyed a2a estimates, planner warm-start
+    #: state); cumulative over the optimizer's lifetime
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def skew_aware(self) -> bool:
         """Whether the plan was conditioned on observed routing."""
         return bool(self.routing_signatures)
+
+    @property
+    def warm_planned(self) -> bool:
+        """Whether the partition DP reused a warm :class:`PlannerState`."""
+        return bool(self.partition and self.partition.warm_start)
 
     @property
     def optimization_seconds(self) -> float:
@@ -72,6 +82,9 @@ class LancetOptimizer:
         bottleneck device's realized load instead of the uniform
         approximation.  Install later observations with
         :meth:`set_routing_signatures` or :meth:`observe_routing`.
+    a2a_cache_size:
+        LRU cap of the signature-keyed all-to-all estimate cache
+        (``None`` keeps the default bound).
     """
 
     def __init__(
@@ -83,6 +96,7 @@ class LancetOptimizer:
         enable_partition: bool = True,
         defer_allreduce: bool = False,
         routing_signatures: dict | None = None,
+        a2a_cache_size: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.framework = framework
@@ -93,9 +107,38 @@ class LancetOptimizer:
         #: all-reduce by deferring gradient sync (see core/comm_priority.py)
         self.defer_allreduce = defer_allreduce
         self.profiler = CachingOpProfiler(gpu=cluster.gpu, framework=framework)
-        self.costs = CostEstimator(self.profiler, CommCostModel(cluster))
+        self.costs = CostEstimator(
+            self.profiler,
+            CommCostModel(cluster),
+            a2a_cache_size=(
+                a2a_cache_size
+                if a2a_cache_size is not None
+                else DEFAULT_A2A_CACHE_SIZE
+            ),
+        )
+        #: warm-start state of the partition planner: persists every
+        #: signature-independent DP table across :meth:`optimize` calls,
+        #: so a re-plan after routing drift only re-prices what the new
+        #: signature invalidates (self-validating -- see
+        #: :class:`~repro.core.partition.PlannerState`)
+        self.planner_state = PlannerState()
         if routing_signatures:
             self.costs.set_signatures(routing_signatures)
+
+    def reset_planner_state(self) -> None:
+        """Drop the warm-start state (next :meth:`optimize` plans cold)."""
+        self.planner_state.reset()
+
+    def cache_stats(self) -> dict:
+        """Counters of every cache the optimizer leans on."""
+        stats = {
+            "profiler": self.profiler._cache.stats(),
+            "a2a_estimates": self.costs._a2a_cache.stats(),
+        }
+        stats.update(
+            {f"planner_{k}": v for k, v in self.planner_state.stats().items()}
+        )
+        return stats
 
     def set_routing_signatures(self, signatures: dict | None) -> None:
         """Re-target the cost oracle at new routing observations (or back
@@ -152,7 +195,9 @@ class LancetOptimizer:
             dw_pass = WeightGradSchedulePass(self.costs)
             pm.add(dw_pass)
         if self.enable_partition:
-            part_pass = OperatorPartitionPass(self.costs, self.hyper_params)
+            part_pass = OperatorPartitionPass(
+                self.costs, self.hyper_params, state=self.planner_state
+            )
             pm.add(part_pass)
         if self.defer_allreduce:
             from .comm_priority import GradSyncDeferPass
@@ -169,6 +214,7 @@ class LancetOptimizer:
             routing_signatures=(
                 dict(self.costs.signatures) if self.costs.signatures else None
             ),
+            cache_stats=self.cache_stats(),
         )
         return work, report
 

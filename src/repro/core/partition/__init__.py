@@ -7,21 +7,28 @@ from .axis_inference import (
     range_is_moe_only,
 )
 from .dp import (
+    ConsumerIndex,
     DPResult,
     Group,
     LancetHyperParams,
+    PlannerState,
     RangePlan,
     build_groups,
     forward_length,
+    max_range_for,
     plan_partitions,
 )
+from .dp_reference import plan_partitions_reference
 from .pass_ import OperatorPartitionPass
 from .pipeline import (
     PipelineCost,
+    PlanCaches,
+    RangeContext,
     Stage,
     build_stages,
     chunk_duration_ms,
     chunk_type,
+    max_feasible_parts,
     pipeline_cost_ms,
     sequential_cost_ms,
 )
@@ -29,6 +36,7 @@ from .rewriter import apply_plan, apply_plans
 from .rules import RuleContext, entry_domain, rules_for
 
 __all__ = [
+    "ConsumerIndex",
     "DPResult",
     "Group",
     "InferenceResult",
@@ -36,6 +44,9 @@ __all__ = [
     "MOE_ONLY_OPS",
     "OperatorPartitionPass",
     "PipelineCost",
+    "PlanCaches",
+    "PlannerState",
+    "RangeContext",
     "RangePlan",
     "RuleContext",
     "Stage",
@@ -48,8 +59,11 @@ __all__ = [
     "entry_domain",
     "forward_length",
     "infer_axes",
+    "max_feasible_parts",
+    "max_range_for",
     "pipeline_cost_ms",
     "plan_partitions",
+    "plan_partitions_reference",
     "range_is_moe_only",
     "rules_for",
     "sequential_cost_ms",

@@ -9,12 +9,17 @@ from __future__ import annotations
 
 from ...ir import Pass, Program
 from ..cost_model import CostEstimator
-from .dp import DPResult, LancetHyperParams, plan_partitions
+from .dp import DPResult, LancetHyperParams, PlannerState, plan_partitions
 from .rewriter import apply_plans
 
 
 class OperatorPartitionPass(Pass):
-    """Partition + pipeline the forward pass around each all-to-all."""
+    """Partition + pipeline the forward pass around each all-to-all.
+
+    Pass a persistent :class:`PlannerState` to re-plan incrementally
+    across optimizer runs (the online re-optimization loop does); without
+    one, every run plans cold.
+    """
 
     name = "operator-partition"
 
@@ -22,12 +27,16 @@ class OperatorPartitionPass(Pass):
         self,
         costs: CostEstimator,
         params: LancetHyperParams | None = None,
+        state: PlannerState | None = None,
     ) -> None:
         self.costs = costs
         self.params = params or LancetHyperParams()
+        self.state = state
         self.result: DPResult = DPResult()
 
     def run(self, program: Program) -> Program:
-        self.result = plan_partitions(program, self.costs, self.params)
+        self.result = plan_partitions(
+            program, self.costs, self.params, state=self.state
+        )
         apply_plans(program, self.result.plans)
         return program

@@ -14,6 +14,12 @@ from dataclasses import dataclass, field
 from ..ir import Instruction, Program, TensorType, get_op
 from ..runtime.device import FrameworkProfile, GPUSpec
 from ..runtime.simulate import DISPATCH_OPS
+from .cache import LRUCache
+
+#: default bound of the (op, shapes, attrs) -> time cache.  Generous --
+#: a model profiles a few thousand distinct shapes -- but finite, so a
+#: long-lived profiler shared across many programs cannot leak.
+DEFAULT_PROFILE_CACHE_SIZE = 65536
 
 
 @dataclass
@@ -33,7 +39,12 @@ class CachingOpProfiler:
     gpu: GPUSpec
     framework: FrameworkProfile
     profile_count: int = 0
-    _cache: dict = field(default_factory=dict, repr=False)
+    _cache: LRUCache = field(
+        default_factory=lambda: LRUCache(
+            DEFAULT_PROFILE_CACHE_SIZE, name="op-profiles"
+        ),
+        repr=False,
+    )
 
     def op_time_ms(
         self,
@@ -48,7 +59,7 @@ class CachingOpProfiler:
         if hit is not None:
             return hit
         t = self._profile(op, in_types, attrs)
-        self._cache[key] = t
+        self._cache.put(key, t)
         return t
 
     def instr_time_ms(self, instr: Instruction, program: Program) -> float:

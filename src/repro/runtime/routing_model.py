@@ -49,6 +49,12 @@ class RoutingSignature:
         # accepted traffic at all, and a zero load never bottlenecks
         if any(v < 0 for v in self.load):
             raise ValueError("device loads must be non-negative")
+        # memo for :meth:`key`: the planner asks for the quantized form
+        # thousands of times per re-plan (every cached a2a estimate keys
+        # on it), so recomputing the rounding each time is pure waste.
+        # object.__setattr__ because the dataclass is frozen; the memo is
+        # not a field, so equality/hash are untouched.
+        object.__setattr__(self, "_key_memo", {})
 
     @classmethod
     def uniform(cls, num_devices: int) -> "RoutingSignature":
@@ -126,8 +132,12 @@ class RoutingSignature:
     def key(self, digits: int = 2) -> tuple:
         """Quantized form for plan-cache keys: nearby realizations that
         would yield the same plan share a key."""
-        scale = round(self.mean_send_bytes / 2.0**20, digits)
-        return (scale,) + tuple(round(v, digits) for v in self.load)
+        hit = self._key_memo.get(digits)
+        if hit is None:
+            scale = round(self.mean_send_bytes / 2.0**20, digits)
+            hit = (scale,) + tuple(round(v, digits) for v in self.load)
+            self._key_memo[digits] = hit
+        return hit
 
 
 @dataclass

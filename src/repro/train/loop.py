@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.cache import LRUCache
 from ..ir import Program
 from ..models.gpt2_moe import ModelGraph
 from ..models.init import init_param_values
@@ -148,6 +149,9 @@ class ReoptimizationEvent:
     wall_seconds: float
     predicted_ms: float
     signature_key: tuple
+    #: whether the partition planner reused its warm-start state
+    #: (False on plan-cache hits: the optimizer never ran)
+    warm_start: bool = False
 
 
 class ReoptimizingTrainer(Trainer):
@@ -169,6 +173,11 @@ class ReoptimizingTrainer(Trainer):
         Quantization used for plan-cache keys: realizations whose loads
         round to the same values reuse the cached schedule instead of
         paying the optimizer wall time again.
+    plan_cache_size:
+        LRU bound of the signature-keyed plan cache.  A long run visits
+        an unbounded stream of distinct signatures, so the cache must be
+        bounded; hits/misses/evictions are exposed via
+        :attr:`plan_cache_stats`.
     """
 
     def __init__(
@@ -177,6 +186,7 @@ class ReoptimizingTrainer(Trainer):
         optimizer,
         drift_threshold: float = 0.05,
         cache_digits: int = 2,
+        plan_cache_size: int = 16,
         seed: int = 0,
         lr_corpus_alpha: float = 1.1,
         parallel: bool | None = None,
@@ -198,8 +208,11 @@ class ReoptimizingTrainer(Trainer):
         #: signatures the *current* schedule was optimized for
         self.plan_signatures: dict[object, RoutingSignature] = {}
         self.predicted_ms = report.predicted_iteration_ms
-        #: plan cache: quantized signature key -> (program, predicted_ms)
-        self._plan_cache: dict[tuple, tuple[Program, float]] = {}
+        #: plan cache: quantized signature key -> (program, predicted_ms),
+        #: LRU-bounded (signatures form an unbounded key stream)
+        self._plan_cache: LRUCache = LRUCache(
+            plan_cache_size, name="plan-cache"
+        )
         self.events: list[ReoptimizationEvent] = []
         self._observed: dict[object, RoutingSignature] = {}
         self._routing_vids = self._find_routing_values()
@@ -267,16 +280,21 @@ class ReoptimizingTrainer(Trainer):
             return result
         key = self._signature_key()
         cached = self._plan_cache.get(key)
+        warm = False
         if cached is not None:
             program, predicted = cached
             wall = 0.0
         else:
             t0 = time.perf_counter()
             self.optimizer.set_routing_signatures(dict(self._observed))
+            # the optimizer re-plans incrementally: its PlannerState
+            # carries every signature-independent DP table over from the
+            # previous plan, so only the drifted pricing is redone
             program, report = self.optimizer.optimize(self.graph)
             wall = time.perf_counter() - t0
             predicted = report.predicted_iteration_ms
-            self._plan_cache[key] = (program, predicted)
+            warm = report.warm_planned
+            self._plan_cache.put(key, (program, predicted))
         self._install_program(program, predicted)
         self.plan_signatures = dict(self._observed)
         self.events.append(
@@ -287,6 +305,7 @@ class ReoptimizingTrainer(Trainer):
                 wall_seconds=wall,
                 predicted_ms=predicted,
                 signature_key=key,
+                warm_start=warm,
             )
         )
         return result
@@ -315,3 +334,8 @@ class ReoptimizingTrainer(Trainer):
     @property
     def num_reoptimizations(self) -> int:
         return len(self.events)
+
+    @property
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the signature-keyed plan cache."""
+        return self._plan_cache.stats()

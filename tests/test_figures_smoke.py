@@ -24,6 +24,7 @@ class TestRegistry:
             "fig16",
             "headline",
             "imbalance",
+            "opt_time",
             "skew_sweep",
         }
 
