@@ -1,0 +1,43 @@
+"""Topology sweep: flat vs hierarchical (2-hop) all-to-all plans.
+
+For each (node count, hot-expert intensity), two skew-aware Lancet plans
+are produced for the same program -- one restricted to flat all-to-alls,
+one free to choose flat vs hierarchical per a2a chunk -- and both are
+simulated per-device under the same realized routing.  The
+hierarchical-enabled plan must never lose, must reduce exactly to the
+flat plan on a single node, and must win >= 10% on a multi-node
+skewed-routing scenario (the headline claim of the hierarchical layer).
+"""
+
+from conftest import run_figure
+from repro.bench.figures import topology_sweep
+
+
+def test_topology_sweep(benchmark):
+    result = run_figure(benchmark, topology_sweep.run)
+    rows = result.rows
+
+    # single-node rows: the flat/hierarchical choice reduces to flat, so
+    # both plans (and their simulated times) are identical
+    for r in rows:
+        if r["num_nodes"] == 1:
+            assert r["hierarchical_a2a"] == 0
+            assert r["iter_hier_plan_ms"] == r["iter_flat_plan_ms"]
+
+    # the hierarchical-enabled plan never loses, at any scenario
+    for r in rows:
+        assert r["iter_hier_plan_ms"] <= r["iter_flat_plan_ms"] * 1.001
+
+    # multi-node skewed scenarios exist and actually choose the 2-hop
+    # algorithm for some all-to-alls
+    multi_skew = [r for r in rows if r["num_nodes"] > 1 and r["hot_boost"] > 0]
+    assert multi_skew
+    assert any(r["hierarchical_a2a"] > 0 for r in multi_skew)
+
+    # headline: >= 10% simulated iteration-time win over the flat-a2a
+    # plan on a >= 2-node skewed-routing scenario
+    assert result.notes["max_multi_node_skew_speedup"] >= 1.10
+
+    # ... and the strongest-skew 2-node scenario wins on its own
+    two_node = [r for r in multi_skew if r["num_nodes"] == 2]
+    assert max(r["speedup"] for r in two_node) >= 1.05

@@ -9,6 +9,9 @@ over RAF at each point -- the kind of sensitivity study a systems reader
 does before adopting a technique.
 
 Run:  python examples/cluster_exploration.py
+
+See docs/TUTORIAL.md for the guided end-to-end walkthrough this
+sensitivity study builds on.
 """
 
 import dataclasses

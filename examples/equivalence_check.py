@@ -12,6 +12,9 @@ simulated multi-device runtime, and shows the loss curves agree to the
 last bit.
 
 Run:  python examples/equivalence_check.py
+
+See docs/TUTORIAL.md (step 3) for where this equivalence fits in the
+end-to-end workflow.
 """
 
 import numpy as np

@@ -12,6 +12,9 @@ This example runs the partition pass under both kinds of gate and shows
 passing property that makes prefix-stable gates safe to partition.
 
 Run:  python examples/gating_comparison.py
+
+See docs/TUTORIAL.md for the end-to-end walkthrough and docs/API.md
+for the optimizer surface used here.
 """
 
 import numpy as np

@@ -6,6 +6,9 @@ Lancet passes, and compares the simulated iteration time and exposed
 (non-overlapped) all-to-all time against the unoptimized schedule.
 
 Run:  python examples/quickstart.py
+
+This is the script version of docs/TUTORIAL.md steps 1-3; the tutorial
+continues into skew-aware planning and online re-optimization.
 """
 
 from repro import (

@@ -8,6 +8,9 @@ subset, and --fast for reduced grids:
     python examples/reproduce_paper.py              # everything
     python examples/reproduce_paper.py fig06 fig13  # a subset
     python examples/reproduce_paper.py --fast       # smaller grids
+
+See docs/TUTORIAL.md for a guided walkthrough of the stack these
+figures exercise.
 """
 
 import sys

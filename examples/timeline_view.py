@@ -6,6 +6,8 @@ before and after optimization, zoomed to the window around the first MoE
 layer, so the overlap structure (paper Fig. 4) is visible in a terminal.
 
 Run:  python examples/timeline_view.py
+
+See docs/TUTORIAL.md (step 6) for how to read these timelines.
 """
 
 from repro import (

@@ -31,9 +31,11 @@ from .models import GPT2MoEConfig, ModelGraph, RunConfig, build_training_graph
 from .runtime import (
     ClusterSpec,
     ClusterTimeline,
+    RoutingSignature,
     SimulationConfig,
     SyntheticRoutingModel,
     Timeline,
+    Topology,
     UniformRoutingModel,
     simulate_cluster,
     simulate_program,
@@ -53,10 +55,12 @@ __all__ = [
     "OperatorPartitionPass",
     "PassManager",
     "Program",
+    "RoutingSignature",
     "RunConfig",
     "SimulationConfig",
     "SyntheticRoutingModel",
     "Timeline",
+    "Topology",
     "UniformRoutingModel",
     "WeightGradSchedulePass",
     "build_training_graph",

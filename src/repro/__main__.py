@@ -32,6 +32,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         "fig15": dict(gpu_counts=(16, 32)),
         "fig16": dict(models=("GPT2-S-MoE",)),
         "headline": dict(gpu_counts=(16,)),
+        "topology": dict(node_counts=(1, 2), hot_boosts=(0.0, 0.7)),
     }
     for fig in wanted:
         kwargs = fast_overrides.get(fig, {}) if args.fast else {}

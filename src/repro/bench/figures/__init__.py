@@ -12,13 +12,15 @@ from . import (
     imbalance,
     opt_time,
     skew_sweep,
+    topology_sweep,
 )
 from .common import FigureResult
 
 #: figure id -> callable returning a FigureResult (fig12 is fig11 with
 #: the Batch Prioritized gate, as in the paper; "imbalance" is an
-#: extension: the per-device load-skew scenario family, and
-#: "skew_sweep" compares uniform vs skew-aware plans across hotness)
+#: extension: the per-device load-skew scenario family, "skew_sweep"
+#: compares uniform vs skew-aware plans across hotness, and "topology"
+#: compares flat vs hierarchical (2-hop) all-to-all plans)
 ALL_FIGURES = {
     "fig02": fig02.run,
     "fig06": fig06.run,
@@ -32,6 +34,7 @@ ALL_FIGURES = {
     "imbalance": imbalance.run,
     "opt_time": opt_time.run,
     "skew_sweep": skew_sweep.run,
+    "topology": topology_sweep.run,
 }
 
 __all__ = ["ALL_FIGURES", "FigureResult"]

@@ -18,6 +18,13 @@ from observed dispatch counts), the collective is priced at the
 *bottleneck* device's bytes instead of the uniform mean.  With a
 balanced signature this reduces to the legacy static-shape estimate
 bit-for-bit, so skew-awareness is strictly opt-in.
+
+Also beyond the paper, :meth:`CommCostModel.a2a_hierarchical_ms` prices
+the 2-hop topology-aware all-to-all (intra-node gather, node-aggregated
+inter-node exchange, intra-node scatter -- see
+:mod:`repro.runtime.topology`) and :meth:`CommCostModel.a2a_best_ms`
+resolves the per-collective flat/hierarchical choice the planner makes
+when :attr:`CostEstimator.enable_hierarchical` is set.
 """
 
 from __future__ import annotations
@@ -48,6 +55,8 @@ class CommCostModel:
     max_bytes: float = 2.0**31  # 2 GB upper anchor
     _a2a_pts: tuple = field(default=None, repr=False)  # type: ignore[assignment]
     _ar_pts: tuple = field(default=None, repr=False)  # type: ignore[assignment]
+    #: memoized uniform-traffic hierarchical phase coefficients
+    _hier_uniform: tuple | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         sizes = [self.min_bytes]
@@ -116,6 +125,107 @@ class CommCostModel:
         """Predicted all-reduce time for a gradient bucket."""
         return self._interp(self._ar_pts, nbytes)
 
+    # -- hierarchical (2-hop) all-to-all pricing ------------------------------
+
+    @property
+    def hierarchy_helps(self) -> bool:
+        """Whether the 2-hop algorithm can ever beat the flat exchange
+        on this cluster: there must be a node boundary, and the NVLink
+        detour must be faster than a GPU's NIC share.  When False every
+        hierarchical estimate delegates to the flat one, so single-node
+        (or bandwidth-symmetric) pricing is unchanged bit-for-bit."""
+        return (
+            self.cluster.multi_node
+            and self.cluster.intra_bw_gbps > self.cluster.nic_per_gpu_gbps
+        )
+
+    def _uniform_hier_coeffs(self) -> tuple[float, float, float]:
+        """Phase-load coefficients of perfectly uniform traffic (each GPU
+        spreads its send bytes evenly over all peers, self included)."""
+        if self._hier_uniform is None:
+            g = self.cluster.num_gpus
+            pair = np.full((g, g), 1.0 / g)
+            self._hier_uniform = self.cluster.topology.phase_load_coefficients(
+                pair
+            )
+        return self._hier_uniform
+
+    def a2a_hierarchical_ms(
+        self,
+        full_nbytes: float,
+        parts: int = 1,
+        signature: RoutingSignature | None = None,
+    ) -> float:
+        """Predicted time of one (chunk of an) irregular all-to-all run
+        with the 2-hop hierarchical algorithm.
+
+        The three phases serialize; each is priced at its bottleneck
+        load -- per-GPU NVLink stream for the intra phases, per-node
+        aggregate NIC for the exchange phase -- scaled from the
+        signature's phase-load coefficients (uniform-traffic coefficients
+        when the signature carries none).  Reduces to the flat estimate
+        when :attr:`hierarchy_helps` is False.
+        """
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        if not self.hierarchy_helps:
+            return self.a2a_skewed_ms(full_nbytes, parts, signature)
+        if signature is not None and signature.mean_send_bytes > 0:
+            base = signature.mean_send_bytes
+        else:
+            base = full_nbytes
+        if signature is not None and signature.hier_load is not None:
+            g1, g2, g3 = signature.hier_load
+        else:
+            g1, g2, g3 = self._uniform_hier_coeffs()
+            if signature is not None and not signature.is_uniform:
+                # skewed realization summarized without a topology: the
+                # phase structure is unknown, so scale the uniform
+                # coefficients by the bottleneck load -- a conservative
+                # estimate mirroring how flat pricing treats the same
+                # signature (never the raw uniform price, which would
+                # grossly underprice the 2-hop algorithm under skew)
+                b = signature.bottleneck
+                g1, g2, g3 = g1 * b, g2 * b, g3 * b
+        b = base / parts
+        cl = self.cluster
+        transfer_s = (g1 + g3) * b / (cl.intra_bw_gbps * 1e9) + g2 * b / (
+            cl.node_nic_gbps * 1e9
+        )
+        return cl.topology.latency_ms() + transfer_s * 1e3
+
+    def a2a_best_ms(
+        self,
+        full_nbytes: float,
+        parts: int = 1,
+        signature: RoutingSignature | None = None,
+    ) -> tuple[float, str]:
+        """Cheapest algorithm for one (chunk of an) irregular all-to-all:
+        ``(predicted ms, 'flat' | 'hierarchical')``.  This is the per-a2a
+        decision the partition DP and the dW-schedule pass plan with when
+        hierarchical collectives are enabled.
+
+        The 2-hop algorithm is only *chosen* when its price is trustworthy:
+        uniform traffic (exact uniform coefficients) or a signature that
+        carries measured phase loads (``hier_load``).  A skewed signature
+        summarized without a topology keeps the collective flat -- its
+        hierarchical estimate is a guess, and acting on a guessed win
+        could make the plan slower than flat.
+        """
+        flat = self.a2a_skewed_ms(full_nbytes, parts, signature)
+        if not self.hierarchy_helps:
+            return flat, "flat"
+        if (
+            signature is not None
+            and not signature.is_uniform
+            and signature.hier_load is None
+        ):
+            return flat, "flat"
+        hier = self.a2a_hierarchical_ms(full_nbytes, parts, signature)
+        if hier < flat:
+            return hier, "hierarchical"
+        return flat, "flat"
+
 
 @dataclass
 class CostEstimator:
@@ -141,6 +251,12 @@ class CostEstimator:
     signatures: dict | None = None
     #: LRU cap of the all-to-all prediction cache (``None`` = unbounded)
     a2a_cache_size: int | None = DEFAULT_A2A_CACHE_SIZE
+    #: when True, every irregular all-to-all estimate is the cheaper of
+    #: the flat and the 2-hop hierarchical algorithm (per chunk, per
+    #: signature), and the chosen algorithm is available via
+    #: :meth:`a2a_algorithm`.  Off by default: plans are then priced
+    #: exactly as the flat-only legacy model.
+    enable_hierarchical: bool = False
     #: memoized all-to-all predictions.  Keyed by (bytes, parts,
     #: signature key) -- the signature component guarantees entries
     #: cached under uniform routing are never reused once the estimator
@@ -174,15 +290,43 @@ class CostEstimator:
             sig = self.signatures.get(None)
         return sig
 
-    def _a2a_irregular_ms(
-        self, nbytes: float, parts: int, sig: RoutingSignature | None
-    ) -> float:
-        key = (nbytes, parts, None if sig is None else sig.key(digits=6))
+    def _a2a_choice(
+        self,
+        nbytes: float,
+        parts: int,
+        sig: RoutingSignature | None,
+        algo: str | None = None,
+    ) -> tuple[float, str]:
+        """Memoized ``(predicted ms, algorithm)`` of one irregular
+        all-to-all chunk.  ``algo`` pins the algorithm ('flat' or
+        'hierarchical', e.g. from an annotated instruction); ``None``
+        resolves it -- the cheaper of the two when
+        :attr:`enable_hierarchical` is set, else always 'flat'."""
+        if algo is None and not self.enable_hierarchical:
+            algo = "flat"
+        key = (nbytes, parts, None if sig is None else sig.key(digits=6), algo)
         hit = self._a2a_cache.get(key)
         if hit is None:
-            hit = self.comm.a2a_skewed_ms(nbytes, parts, sig)
+            if algo == "flat":
+                hit = (self.comm.a2a_skewed_ms(nbytes, parts, sig), "flat")
+            elif algo == "hierarchical":
+                hit = (
+                    self.comm.a2a_hierarchical_ms(nbytes, parts, sig),
+                    "hierarchical",
+                )
+            else:
+                hit = self.comm.a2a_best_ms(nbytes, parts, sig)
             self._a2a_cache.put(key, hit)
         return hit
+
+    def _a2a_irregular_ms(
+        self,
+        nbytes: float,
+        parts: int,
+        sig: RoutingSignature | None,
+        algo: str | None = None,
+    ) -> float:
+        return self._a2a_choice(nbytes, parts, sig, algo)[0]
 
     def a2a_chunk_ms(
         self, instr: Instruction, program: Program, parts: int, irregular: bool
@@ -190,35 +334,74 @@ class CostEstimator:
         """Predicted duration of one chunk of a *planned* k-way split of
         an all-to-all (used by the pipeline scheduler before any IR is
         rewritten).  Irregular chunks use the static-shape approximation,
-        conditioned on the layer's routing signature when one is set."""
+        conditioned on the layer's routing signature when one is set,
+        and priced at the cheaper of the flat / hierarchical algorithm
+        when hierarchical collectives are enabled (an explicit
+        ``a2a_algo`` annotation on the instruction pins the choice)."""
         nbytes = float(program.type_of(instr.inputs[0]).nbytes)
         if irregular:
             return self._a2a_irregular_ms(
-                nbytes, parts, self.signature_for(instr)
+                nbytes,
+                parts,
+                self.signature_for(instr),
+                instr.attrs.get("a2a_algo"),
             )
         return self.comm.a2a_ms(nbytes / parts)
+
+    def _irregular_a2a_query(
+        self, instr: Instruction, program: Program
+    ) -> tuple[float, int]:
+        """(effective full bytes, parts) of one irregular all-to-all.
+
+        Irregular A2As move only realized tokens, not padding: the static
+        buffer size is scaled by the expected fill fraction (tokens /
+        total capacity slots); a partitioned chunk carries the original
+        size priced at ``parts``-way splitting (static-shape
+        approximation).
+        """
+        buf_t = program.type_of(instr.inputs[0])
+        nbytes = float(buf_t.nbytes)
+        tokens = instr.attrs.get("tokens")
+        if tokens is not None and buf_t.rank == 3:
+            slots = buf_t.shape[0] * buf_t.shape[1]
+            nbytes *= min(1.0, tokens / slots)
+        parts = 1
+        if instr.partition is not None:
+            parts = instr.partition[1]
+        return nbytes, parts
+
+    def a2a_algorithm(
+        self,
+        instr: Instruction,
+        program: Program,
+        respect_annotation: bool = True,
+    ) -> str:
+        """The algorithm one irregular all-to-all is planned to run with:
+        its explicit ``a2a_algo`` annotation (unless
+        ``respect_annotation=False``, which re-resolves the choice for
+        the currently installed signature), or the cheaper of flat /
+        hierarchical (always 'flat' when hierarchical collectives are
+        disabled)."""
+        if instr.op != "all_to_all" or not instr.attrs.get("irregular"):
+            return "flat"
+        nbytes, parts = self._irregular_a2a_query(instr, program)
+        pinned = instr.attrs.get("a2a_algo") if respect_annotation else None
+        return self._a2a_choice(
+            nbytes, parts, self.signature_for(instr), pinned
+        )[1]
 
     def duration_ms(self, instr: Instruction, program: Program) -> float:
         """Predicted duration of one instruction."""
         if instr.op == "all_to_all":
-            buf_t = program.type_of(instr.inputs[0])
-            nbytes = float(buf_t.nbytes)
             if instr.attrs.get("irregular"):
-                # irregular A2As move only realized tokens, not padding:
-                # scale the static buffer size by the expected fill
-                # fraction (tokens / total capacity slots)
-                tokens = instr.attrs.get("tokens")
-                if tokens is not None and buf_t.rank == 3:
-                    slots = buf_t.shape[0] * buf_t.shape[1]
-                    nbytes *= min(1.0, tokens / slots)
-                parts = 1
-                if instr.partition is not None:
-                    # chunk of an irregular A2A: static-shape approximation
-                    parts = instr.partition[1]
+                nbytes, parts = self._irregular_a2a_query(instr, program)
                 return self._a2a_irregular_ms(
-                    nbytes, parts, self.signature_for(instr)
+                    nbytes,
+                    parts,
+                    self.signature_for(instr),
+                    instr.attrs.get("a2a_algo"),
                 )
-            return self.comm.a2a_ms(nbytes)
+            return self.comm.a2a_ms(float(program.type_of(instr.inputs[0]).nbytes))
         if instr.op == "allreduce":
             nbytes = float(program.type_of(instr.inputs[0]).nbytes)
             return self.comm.allreduce_ms(nbytes)

@@ -46,11 +46,20 @@ class LancetReport:
     #: (op profiler, signature-keyed a2a estimates, planner warm-start
     #: state); cumulative over the optimizer's lifetime
     cache_stats: dict = field(default_factory=dict)
+    #: per-algorithm count of the plan's irregular all-to-alls
+    #: (``{'flat': ..., 'hierarchical': ...}``); ``None`` when
+    #: hierarchical collectives were disabled, so every a2a ran flat
+    a2a_algorithms: dict | None = None
 
     @property
     def skew_aware(self) -> bool:
         """Whether the plan was conditioned on observed routing."""
         return bool(self.routing_signatures)
+
+    @property
+    def hierarchical_a2a_count(self) -> int:
+        """How many irregular all-to-alls the plan runs hierarchically."""
+        return (self.a2a_algorithms or {}).get("hierarchical", 0)
 
     @property
     def warm_planned(self) -> bool:
@@ -82,6 +91,15 @@ class LancetOptimizer:
         bottleneck device's realized load instead of the uniform
         approximation.  Install later observations with
         :meth:`set_routing_signatures` or :meth:`observe_routing`.
+    enable_hierarchical_a2a:
+        When True, every irregular all-to-all is priced at the cheaper
+        of the flat and the 2-hop hierarchical algorithm (per chunk,
+        conditioned on the routing signature), the DP plans against
+        those prices, and the optimized program's all-to-alls are
+        annotated with the chosen algorithm (``attrs['a2a_algo']``),
+        which the ground-truth simulator honors.  On single-node (or
+        bandwidth-symmetric) clusters the choice always reduces to
+        flat, so plans are unchanged.
     a2a_cache_size:
         LRU cap of the signature-keyed all-to-all estimate cache
         (``None`` keeps the default bound).
@@ -96,6 +114,7 @@ class LancetOptimizer:
         enable_partition: bool = True,
         defer_allreduce: bool = False,
         routing_signatures: dict | None = None,
+        enable_hierarchical_a2a: bool = False,
         a2a_cache_size: int | None = None,
     ) -> None:
         self.cluster = cluster
@@ -106,6 +125,7 @@ class LancetOptimizer:
         #: extension beyond the paper: prioritize all-to-all over
         #: all-reduce by deferring gradient sync (see core/comm_priority.py)
         self.defer_allreduce = defer_allreduce
+        self.enable_hierarchical_a2a = enable_hierarchical_a2a
         self.profiler = CachingOpProfiler(gpu=cluster.gpu, framework=framework)
         self.costs = CostEstimator(
             self.profiler,
@@ -115,6 +135,7 @@ class LancetOptimizer:
                 if a2a_cache_size is not None
                 else DEFAULT_A2A_CACHE_SIZE
             ),
+            enable_hierarchical=enable_hierarchical_a2a,
         )
         #: warm-start state of the partition planner: persists every
         #: signature-independent DP table across :meth:`optimize` calls,
@@ -205,6 +226,13 @@ class LancetOptimizer:
             pm.add(GradSyncDeferPass())
         work = pm.run(work)
 
+        a2a_algorithms = None
+        if self.enable_hierarchical_a2a:
+            # pin the flat/hierarchical choice the plan was priced with
+            # onto each irregular all-to-all, so the runtime (and the
+            # prediction below) executes exactly what the DP assumed
+            a2a_algorithms = self._annotate_a2a_algorithms(work)
+
         report = LancetReport(
             pass_timings=list(pm.timings),
             dw_schedule=dw_pass.report if dw_pass else None,
@@ -215,8 +243,27 @@ class LancetOptimizer:
                 dict(self.costs.signatures) if self.costs.signatures else None
             ),
             cache_stats=self.cache_stats(),
+            a2a_algorithms=a2a_algorithms,
         )
         return work, report
+
+    def _annotate_a2a_algorithms(self, program: Program) -> dict:
+        """Resolve and record the cheapest algorithm for every irregular
+        all-to-all of ``program`` (in place; uids are preserved, so the
+        planner warm-start state stays valid)."""
+        counts = {"flat": 0, "hierarchical": 0}
+        for i, ins in enumerate(program.instructions):
+            if ins.op != "all_to_all" or not ins.attrs.get("irregular"):
+                continue
+            algo = self.costs.a2a_algorithm(
+                ins, program, respect_annotation=False
+            )
+            counts[algo] += 1
+            if ins.attrs.get("a2a_algo") != algo:
+                program.instructions[i] = ins.with_(
+                    attrs={**ins.attrs, "a2a_algo": algo}, uid=ins.uid
+                )
+        return counts
 
     def predict_iteration_ms(self, program: Program) -> float:
         """Cost-model prediction of a program's iteration time (Fig. 14)."""

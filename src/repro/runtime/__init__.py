@@ -12,6 +12,7 @@ from .collectives import (
     all_to_all_irregular,
     allreduce_sum,
     device_byte_loads,
+    hierarchical_all_to_all,
 )
 from .device import (
     A100,
@@ -38,6 +39,7 @@ from .simulate import (
     simulate_cluster,
     simulate_program,
 )
+from .topology import HierarchicalTiming, HierarchicalTraffic, Topology
 from .timeline import (
     Breakdown,
     ClusterTimeline,
@@ -67,6 +69,8 @@ __all__ = [
     "FrameworkProfile",
     "GPUSpec",
     "GroundTruthCost",
+    "HierarchicalTiming",
+    "HierarchicalTraffic",
     "Interval",
     "NumericExecutor",
     "RoutingSignature",
@@ -74,12 +78,14 @@ __all__ = [
     "SyntheticRoutingModel",
     "TUTEL",
     "Timeline",
+    "Topology",
     "UniformRoutingModel",
     "V100",
     "all_to_all_dense",
     "all_to_all_irregular",
     "allreduce_sum",
     "device_byte_loads",
+    "hierarchical_all_to_all",
     "imbalance_summary",
     "intersect_length",
     "iteration_time_ms",

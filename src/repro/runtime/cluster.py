@@ -16,11 +16,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from .device import A100, V100, GPUSpec
+from .topology import HierarchicalTiming, Topology
 
 
 @dataclass(frozen=True)
 class ClusterSpec:
     """A homogeneous GPU cluster.
+
+    **Unit conventions** (normative for the whole repo; asserted by
+    ``tests/test_cluster_simulation.py``):
+
+    - bandwidths (the beta terms) are **GB/s** -- 1e9 *bytes* per second.
+      The ``_gbps`` suffix is historical and does **not** mean gigabit:
+      NIC line rates quoted in Gbit/s are divided by 8 in the presets
+      (p4de: 4 x 100 Gbit/s EFA = ``node_nic_gbps=50.0``; p3dn: one
+      100 Gbit/s NIC = ``node_nic_gbps=12.5``);
+    - latencies (the alpha terms) are **microseconds** (``*_us``);
+    - buffer and traffic sizes are **bytes**;
+    - every returned time is **milliseconds** (``*_ms`` methods).
 
     Attributes
     ----------
@@ -33,7 +46,8 @@ class ClusterSpec:
     node_nic_gbps:
         Aggregate NIC bandwidth per *node* (GB/s), shared by its GPUs.
     alpha_intra_us / alpha_inter_us:
-        Latency floor of one collective step within / across nodes.
+        Latency floor (microseconds) of one collective step within /
+        across nodes.
     """
 
     name: str
@@ -58,6 +72,20 @@ class ClusterSpec:
     @property
     def multi_node(self) -> bool:
         return self.num_nodes > 1
+
+    @property
+    def topology(self) -> Topology:
+        """The cluster's physical layout (node-of-rank mapping, link
+        speeds) as a standalone :class:`~repro.runtime.topology.Topology`
+        -- the single home of the 2-hop all-to-all decomposition."""
+        return Topology(
+            num_nodes=self.num_nodes,
+            gpus_per_node=self.gpus_per_node,
+            intra_bw_gbps=self.intra_bw_gbps,
+            node_nic_gbps=self.node_nic_gbps,
+            alpha_intra_us=self.alpha_intra_us,
+            alpha_inter_us=self.alpha_inter_us,
+        )
 
     def alpha_ms(self) -> float:
         """Latency floor of one collective involving all devices."""
@@ -122,6 +150,34 @@ class ClusterSpec:
         network level: the max of :meth:`a2a_device_times_ms`.
         """
         return float(self.a2a_device_times_ms(pair_bytes).max())
+
+    # -- hierarchical (2-hop) all-to-all ---------------------------------------
+
+    def hierarchical_a2a_timing(self, pair_bytes: np.ndarray) -> HierarchicalTiming:
+        """Per-phase timing of the 2-hop all-to-all (see
+        :mod:`repro.runtime.topology`): intra-node gather, node-aggregated
+        inter-node exchange over the NICs, intra-node scatter."""
+        return self.topology.phase_times_ms(pair_bytes)
+
+    def hierarchical_a2a_device_times_ms(self, pair_bytes: np.ndarray) -> np.ndarray:
+        """Per-device completion offsets of a hierarchical all-to-all.
+
+        The counterpart of :meth:`a2a_device_times_ms` for the 2-hop
+        algorithm; ``result.max()`` is exactly
+        :meth:`hierarchical_a2a_time_ms_irregular`.
+        """
+        return self.hierarchical_a2a_timing(pair_bytes).device_times_ms()
+
+    def hierarchical_a2a_time_ms_irregular(self, pair_bytes: np.ndarray) -> float:
+        """Completion time of an irregular all-to-all run hierarchically.
+
+        Phases serialize: latency floors plus the per-phase bottleneck
+        (GPU NVLink stream for the intra phases, node-aggregate NIC for
+        the inter phase).  On a single node this equals
+        :meth:`a2a_time_ms_irregular` exactly -- the decomposition
+        degenerates to the direct intra-node exchange.
+        """
+        return self.hierarchical_a2a_timing(pair_bytes).total_ms
 
     def allreduce_time_ms(self, nbytes: float) -> float:
         """Hierarchical all-reduce (NCCL-style).

@@ -6,6 +6,11 @@ The irregular variant moves only the realized token rows and reports the
 per-pair byte matrix (what the network model charges for); with
 zero-padded buffers its result is bit-identical to the dense exchange --
 asserted by the test suite.
+
+:func:`hierarchical_all_to_all` is the topology-aware (2-hop) variant:
+same logical transfers, routed intra-node gather -> inter-node exchange
+-> intra-node scatter (see :mod:`repro.runtime.topology`), bit-identical
+to :func:`all_to_all_irregular`.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from ..moe.dispatch import (
     exchange_expert_buffers,
     exchange_expert_buffers_inverse,
 )
+from .topology import HierarchicalTraffic, Topology
 
 
 def all_to_all_dense(bufs: list[np.ndarray], direction: str) -> list[np.ndarray]:
@@ -88,6 +94,130 @@ def all_to_all_irregular(
         raise ValueError(f"unknown direction {direction!r}")
 
     return out, _pair_bytes(counts, el, row_bytes, direction)
+
+
+def _logical_blocks(
+    bufs: list[np.ndarray], counts: np.ndarray, direction: str
+) -> list[tuple[int, int, int, np.ndarray]]:
+    """The (src device, dst device, output slot, rows) transfers of one
+    irregular all-to-all -- the algorithm-independent description both
+    the flat and the hierarchical exchange realize."""
+    g = len(bufs)
+    e, c, _h = bufs[0].shape
+    el = e // g
+    counts = np.asarray(counts)
+    if counts.shape != (g, e):
+        raise ValueError(f"counts must be [{g},{e}], got {counts.shape}")
+    if counts.max(initial=0) > c:
+        raise ValueError("counts exceed capacity")
+    blocks = []
+    for s in range(g):
+        for d in range(g):
+            for le in range(el):
+                if direction == "scatter":
+                    # recv[d][le*g + s, :n] = bufs[s][d*el + le, :n]
+                    n = int(counts[s, d * el + le])
+                    data = bufs[s][d * el + le, :n]
+                    slot = le * g + s
+                elif direction == "gather":
+                    # out[d][s*el + le, :n] = bufs[s][le*g + d, :n]
+                    n = int(counts[d, s * el + le])
+                    data = bufs[s][le * g + d, :n]
+                    slot = s * el + le
+                else:
+                    raise ValueError(f"unknown direction {direction!r}")
+                if n:
+                    blocks.append((s, d, slot, data))
+    return blocks
+
+
+def hierarchical_all_to_all(
+    bufs: list[np.ndarray],
+    counts: np.ndarray,
+    direction: str,
+    topology: Topology,
+) -> tuple[list[np.ndarray], np.ndarray, HierarchicalTraffic]:
+    """2-hop (topology-aware) irregular all-to-all.
+
+    Moves exactly the rows :func:`all_to_all_irregular` moves, but in
+    three phases over the physical links (see
+    :mod:`repro.runtime.topology`):
+
+    1. intra-node gather: same-node blocks are delivered directly; each
+       cross-node block rides NVLink to its node's send relay for the
+       destination node;
+    2. inter-node exchange: relays move the node-aggregated traffic over
+       the NICs to the receive relay of the destination node;
+    3. intra-node scatter: receive relays fan blocks out to their final
+       destination GPUs.
+
+    The received buffers are **bit-identical** to
+    :func:`all_to_all_irregular` (asserted by
+    ``tests/test_hierarchical_a2a.py``); the realized per-phase traffic
+    is returned alongside, and matches
+    :meth:`Topology.decompose_pair_bytes` of the logical pair-bytes
+    matrix -- which is how the network model prices the collective
+    without running it.
+
+    Returns (received buffers, logical pair-bytes matrix, per-phase
+    realized traffic).
+    """
+    g = len(bufs)
+    if topology.num_gpus != g:
+        raise ValueError(
+            f"topology covers {topology.num_gpus} GPUs, got {g} buffers"
+        )
+    e, c, h = bufs[0].shape
+    el = e // g
+    row_bytes = h * bufs[0].dtype.itemsize
+
+    intra_gather = np.zeros((g, g))
+    inter_node = np.zeros((topology.num_nodes, topology.num_nodes))
+    intra_scatter = np.zeros((g, g))
+
+    # phase 1: deliver same-node blocks, stage cross-node blocks on the
+    # send relay of (source node, destination node)
+    staged: list[list[tuple[int, int, int, np.ndarray]]] = [[] for _ in range(g)]
+    delivered: list[list[tuple[int, np.ndarray]]] = [[] for _ in range(g)]
+    for s, d, slot, data in _logical_blocks(bufs, counts, direction):
+        ns, nd = topology.node_of(s), topology.node_of(d)
+        if s == d:
+            delivered[d].append((slot, data))  # never leaves the device
+            continue
+        if ns == nd:
+            intra_gather[s, d] += data.shape[0] * row_bytes
+            delivered[d].append((slot, data))
+            continue
+        r1 = topology.send_relay(ns, nd)
+        if s != r1:
+            intra_gather[s, r1] += data.shape[0] * row_bytes
+        staged[r1].append((s, d, slot, data))
+
+    # phase 2: relays exchange node-aggregated traffic over the NICs
+    staged2: list[list[tuple[int, int, np.ndarray]]] = [[] for _ in range(g)]
+    for r1 in range(g):
+        for s, d, slot, data in staged[r1]:
+            ns, nd = topology.node_of(s), topology.node_of(d)
+            r2 = topology.recv_relay(ns, nd)
+            inter_node[ns, nd] += data.shape[0] * row_bytes
+            staged2[r2].append((d, slot, data))
+
+    # phase 3: receive relays scatter to the final destinations
+    for r2 in range(g):
+        for d, slot, data in staged2[r2]:
+            if r2 != d:
+                intra_scatter[r2, d] += data.shape[0] * row_bytes
+            delivered[d].append((slot, data))
+
+    out: list[np.ndarray] = []
+    for d in range(g):
+        recv = np.zeros((el * g, c, h), dtype=bufs[0].dtype)
+        for slot, data in delivered[d]:
+            recv[slot, : data.shape[0]] = data
+        out.append(recv)
+
+    pair = _pair_bytes(np.asarray(counts), el, row_bytes, direction)
+    return out, pair, HierarchicalTraffic(intra_gather, inter_node, intra_scatter)
 
 
 def device_byte_loads(pair_bytes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -41,6 +41,13 @@ class RoutingSignature:
     #: realized mean per-device send bytes of the full (unpartitioned)
     #: collective; 0.0 = unknown, pricing falls back to the static size
     mean_send_bytes: float = 0.0
+    #: optional per-phase bottleneck coefficients of the 2-hop
+    #: hierarchical all-to-all (intra gather, node-aggregated inter
+    #: exchange, intra scatter), each relative to the mean per-device
+    #: send bytes (:meth:`Topology.phase_load_coefficients`).  ``None``
+    #: when the realization was summarized without a topology; the cost
+    #: model then falls back to uniform-traffic coefficients.
+    hier_load: tuple[float, float, float] | None = None
 
     def __post_init__(self) -> None:
         if not self.load:
@@ -62,10 +69,18 @@ class RoutingSignature:
         return cls(load=(1.0,) * num_devices)
 
     @classmethod
-    def from_pair_bytes(cls, pair_bytes: np.ndarray) -> "RoutingSignature":
+    def from_pair_bytes(
+        cls, pair_bytes: np.ndarray, topology=None
+    ) -> "RoutingSignature":
         """Signature of a realized pair-bytes matrix (``[s, d]`` bytes
         from device s to device d, as in
-        :meth:`ClusterSpec.a2a_device_times_ms`)."""
+        :meth:`ClusterSpec.a2a_device_times_ms`).
+
+        Pass the cluster's :class:`~repro.runtime.topology.Topology` to
+        also record the hierarchical phase-load coefficients, which lets
+        the cost model price the 2-hop algorithm for this realization
+        (ignored for single-node or mismatched topologies).
+        """
         pair = np.asarray(pair_bytes, dtype=np.float64)
         send = pair.sum(axis=1)
         recv = pair.sum(axis=0)
@@ -76,14 +91,25 @@ class RoutingSignature:
             # uniform signature so skew-aware pricing reduces to the
             # legacy estimate bit-for-bit
             return cls.uniform(pair.shape[0])
+        hier = None
+        if (
+            topology is not None
+            and topology.multi_node
+            and topology.num_gpus == pair.shape[0]
+        ):
+            hier = topology.phase_load_coefficients(pair)
         return cls(
             load=tuple(float(v) for v in per_device / ref),
             mean_send_bytes=float(ref),
+            hier_load=hier,
         )
 
     @classmethod
     def from_counts(
-        cls, counts: np.ndarray, bytes_per_token: float = 1.0
+        cls,
+        counts: np.ndarray,
+        bytes_per_token: float = 1.0,
+        topology=None,
     ) -> "RoutingSignature":
         """Signature from observed dispatch counts ``[devices, experts]``
         (expert ``e`` owned by device ``e // (E / G)``)."""
@@ -92,7 +118,9 @@ class RoutingSignature:
         if e % g != 0:
             raise ValueError(f"experts ({e}) must divide evenly over {g} devices")
         per_owner = counts.reshape(g, g, e // g).sum(axis=2)
-        return cls.from_pair_bytes(per_owner * float(bytes_per_token))
+        return cls.from_pair_bytes(
+            per_owner * float(bytes_per_token), topology=topology
+        )
 
     @property
     def num_devices(self) -> int:
@@ -136,6 +164,10 @@ class RoutingSignature:
         if hit is None:
             scale = round(self.mean_send_bytes / 2.0**20, digits)
             hit = (scale,) + tuple(round(v, digits) for v in self.load)
+            if self.hier_load is not None:
+                # hierarchy-aware signatures must never collide with the
+                # flat form of the same loads in plan/estimate caches
+                hit += tuple(round(v, digits) for v in self.hier_load)
             self._key_memo[digits] = hit
         return hit
 

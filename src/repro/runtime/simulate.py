@@ -208,6 +208,9 @@ class GroundTruthCost:
         if pair is None:
             buf_t = program.type_of(instr.inputs[0])
             return self.config.cluster.a2a_time_ms(float(buf_t.nbytes))
+        if instr.attrs.get("a2a_algo") == "hierarchical":
+            # the plan chose the 2-hop algorithm for this collective
+            return self.config.cluster.hierarchical_a2a_time_ms_irregular(pair)
         return self.config.cluster.a2a_time_ms_irregular(pair)
 
     def duration_ms(self, instr: Instruction, program: Program) -> float:
@@ -239,6 +242,10 @@ class GroundTruthCost:
                 buf_t = program.type_of(instr.inputs[0])
                 return np.full(
                     g, self.config.cluster.a2a_time_ms(float(buf_t.nbytes))
+                )
+            if instr.attrs.get("a2a_algo") == "hierarchical":
+                return self.config.cluster.hierarchical_a2a_device_times_ms(
+                    pair
                 )
             return self.config.cluster.a2a_device_times_ms(pair)
         if instr.op == "allreduce":
@@ -429,5 +436,7 @@ def observed_routing_signatures(
             # a chunk carries 1/k of the layer's traffic; scale back to
             # the full collective so the signature is chunk-independent
             pair = pair * instr.partition[1]
-        signatures[key] = RoutingSignature.from_pair_bytes(pair)
+        signatures[key] = RoutingSignature.from_pair_bytes(
+            pair, topology=config.cluster.topology
+        )
     return signatures

@@ -242,6 +242,13 @@ class ReoptimizingTrainer(Trainer):
         step's routing info values -- the simulation counterpart of
         reading the gate's dispatch counters on real hardware."""
         h_bytes = float(self.graph.cfg.hidden) * 2.0  # f16 activations
+        # attach the cluster topology so observed signatures also carry
+        # the 2-hop phase loads (lets re-plans pick flat vs hierarchical
+        # per a2a); skipped when the numeric run is smaller than the
+        # modelled cluster
+        topo = self.optimizer.cluster.topology
+        if topo.num_gpus != self.g:
+            topo = None
         self._observed = {}
         for layer, vids in self._routing_vids.items():
             counts = np.stack(
@@ -251,7 +258,7 @@ class ReoptimizingTrainer(Trainer):
                 ]
             )
             self._observed[layer] = RoutingSignature.from_counts(
-                counts, bytes_per_token=h_bytes
+                counts, bytes_per_token=h_bytes, topology=topo
             )
 
     # -- the control loop ------------------------------------------------------

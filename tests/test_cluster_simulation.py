@@ -173,6 +173,64 @@ class TestStragglers:
             ).device_slowdowns()
 
 
+class TestUnitConventions:
+    """The alpha/beta unit conventions documented on ClusterSpec.
+
+    Bandwidth fields are GB/s (1e9 *bytes* per second) despite the
+    historical ``_gbps`` suffix; latency fields are microseconds; sizes
+    are bytes; every returned time is milliseconds.
+    """
+
+    def test_nic_presets_are_line_rate_over_eight(self):
+        # p4de: 4 x 100 Gbit/s EFA NICs; p3dn: one 100 Gbit/s NIC
+        assert ClusterSpec.p4de(2).node_nic_gbps == 4 * 100 / 8
+        assert ClusterSpec.p3dn(2).node_nic_gbps == 100 / 8
+        # the per-GPU share divides the node aggregate evenly
+        assert ClusterSpec.p4de(2).nic_per_gpu_gbps == 50.0 / 8
+
+    def test_bandwidth_is_bytes_per_second(self):
+        """Moving N bytes at B GB/s costs N / (B * 1e9) seconds: strip
+        the latency floor and the uniform a2a transfer must match the
+        hand-computed bottleneck-stream time."""
+        cl = ClusterSpec.p4de(2)
+        nbytes = 1e8
+        g = cl.num_gpus
+        t = cl.a2a_time_ms(nbytes) - cl.alpha_ms()
+        frac_inter = (g - cl.gpus_per_node) / g
+        expected_s = (nbytes * frac_inter) / (cl.nic_per_gpu_gbps * 1e9)
+        assert np.isclose(t, expected_s * 1e3, rtol=1e-12)
+
+    def test_alpha_is_microseconds(self):
+        """A zero-byte collective costs exactly the latency floor,
+        converted us -> ms."""
+        single = ClusterSpec.for_gpus("a100", 8)
+        assert single.a2a_time_ms(0.0) == single.alpha_intra_us * 1e-3
+        multi = ClusterSpec.p4de(2)
+        assert multi.alpha_ms() == multi.alpha_inter_us * 1e-3
+
+    def test_irregular_completion_is_device_times_max(self):
+        """a2a_time_ms_irregular is, by definition, the busiest device
+        of a2a_device_times_ms -- for flat and hierarchical alike."""
+        rng = np.random.default_rng(11)
+        for cl in (ClusterSpec.for_gpus("a100", 8), ClusterSpec.p3dn(2)):
+            pair = np.abs(rng.standard_normal((cl.num_gpus,) * 2)) * 1e6
+            assert cl.a2a_time_ms_irregular(pair) == float(
+                cl.a2a_device_times_ms(pair).max()
+            )
+            assert cl.hierarchical_a2a_time_ms_irregular(pair) == float(
+                cl.hierarchical_a2a_device_times_ms(pair).max()
+            )
+
+    def test_topology_mirrors_cluster_spec(self):
+        cl = ClusterSpec.p3dn(4)
+        topo = cl.topology
+        assert topo.num_gpus == cl.num_gpus
+        assert topo.nic_per_gpu_gbps == cl.nic_per_gpu_gbps
+        assert [topo.node_of(r) for r in range(cl.num_gpus)] == list(
+            np.arange(cl.num_gpus) // cl.gpus_per_node
+        )
+
+
 class TestRoutingSkewKnobs:
     def test_hot_experts_off_reproduces_plain_draws(self):
         plain = SyntheticRoutingModel(seed=3)

@@ -26,6 +26,7 @@ class TestRegistry:
             "imbalance",
             "opt_time",
             "skew_sweep",
+            "topology",
         }
 
 
@@ -133,3 +134,24 @@ class TestImbalance:
         assert by["mild"]["iteration_ms"] > by["uniform"]["iteration_ms"]
         assert by["mild"]["a2a_spread_ms"] > by["uniform"]["a2a_spread_ms"]
         assert by["hot"]["a2a_spread_ms"] > by["mild"]["a2a_spread_ms"]
+
+
+class TestTopologySweep:
+    def test_small_grid(self):
+        from repro.bench.figures import topology_sweep
+
+        r = topology_sweep.run(node_counts=(1, 2), hot_boosts=(0.0, 0.7))
+        by = {(row["num_nodes"], row["hot_boost"]): row for row in r.rows}
+        # single node: the flat/hierarchical choice reduces to flat
+        assert by[(1, 0.0)]["hierarchical_a2a"] == 0
+        assert (
+            by[(1, 0.7)]["iter_hier_plan_ms"]
+            == by[(1, 0.7)]["iter_flat_plan_ms"]
+        )
+        # 2-node hot-expert skew: the 2-hop algorithm gets chosen and wins
+        assert by[(2, 0.7)]["hierarchical_a2a"] > 0
+        assert (
+            by[(2, 0.7)]["iter_hier_plan_ms"]
+            < by[(2, 0.7)]["iter_flat_plan_ms"]
+        )
+        assert "regression_metrics" in r.notes

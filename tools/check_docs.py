@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation hygiene checker (run by the CI ``docs`` job).
+
+Two checks over the repo's markdown:
+
+1. **Intra-repo links resolve.**  Every relative markdown link target
+   (``[text](path)``, ``path`` not a URL or pure anchor) must exist on
+   disk, relative to the file containing it.
+2. **Python snippets compile.**  Every fenced ``python`` block in the
+   checked files must at least byte-compile (the ``docs`` CI job
+   additionally *executes* the API.md / TUTORIAL.md blocks via
+   ``tests/test_docs_snippets.py``).
+
+Usage:  python tools/check_docs.py [files...]
+        (no arguments = README.md + all of docs/)
+
+Exit status: 0 = clean, 1 = problems found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) -- excluding images; target captured up to ) or space
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def default_files() -> list[pathlib.Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: pathlib.Path) -> list[str]:
+    problems = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.is_relative_to(REPO):
+            # escapes the checkout: a host-relative web link (e.g. the
+            # CI badge's ../../actions/... URL), not a repo file
+            continue
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    return problems
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    """Fenced ``python`` blocks of a markdown file, in document order.
+    (Also used by ``tests/test_docs_snippets.py`` to *execute* them.)"""
+    return _FENCE.findall(path.read_text())
+
+
+def check_snippets(path: pathlib.Path) -> list[str]:
+    problems = []
+    for i, block in enumerate(python_blocks(path)):
+        try:
+            compile(block, f"{path.name}[block {i}]", "exec")
+        except SyntaxError as err:
+            problems.append(
+                f"{path.relative_to(REPO)}: python block {i} does not "
+                f"compile: {err}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    files = [pathlib.Path(a) for a in args] or default_files()
+    problems: list[str] = []
+    for f in files:
+        if not f.exists():
+            problems.append(f"missing file: {f}")
+            continue
+        problems += check_links(f)
+        problems += check_snippets(f)
+    if problems:
+        print("documentation problems:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(files)} files, links resolve, snippets compile")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
