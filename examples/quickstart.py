@@ -1,58 +1,55 @@
 #!/usr/bin/env python
-"""Quickstart: optimize an MoE training graph with Lancet and measure it.
+"""Quickstart: compile an MoE training plan with Lancet and measure it.
 
-Builds the paper's GPT2-S-MoE model for a 16-GPU A100 cluster, runs both
-Lancet passes, and compares the simulated iteration time and exposed
-(non-overlapped) all-to-all time against the unoptimized schedule.
+Uses the ``repro.api`` facade: declare the workload as a ``Scenario``,
+``compile()`` it into a ``Plan`` (both Lancet passes: dW rescheduling +
+operator partition), then replay the plan on the simulated cluster and
+compare against the unoptimized schedule.
 
 Run:  python examples/quickstart.py
 
 This is the script version of docs/TUTORIAL.md steps 1-3; the tutorial
-continues into skew-aware planning and online re-optimization.
+continues into skew-aware planning, online re-optimization, and plan
+artifacts (see examples/plan_store.py for saving and reusing plans).
 """
 
-from repro import (
-    ClusterSpec,
-    GPT2MoEConfig,
-    LancetOptimizer,
-    SimulationConfig,
-    SyntheticRoutingModel,
-    build_training_graph,
-    simulate_program,
-)
+from repro import SimulationConfig, Scenario, compile, simulate_program
 
 
 def main() -> None:
-    # 1. Build the training-iteration IR (forward + backward + SGD) for
-    #    GPT2-S-MoE: 12 layers, every other FFN replaced by an MoE layer,
-    #    two experts per GPU (paper Sec. 7).
-    cfg = GPT2MoEConfig.gpt2_s_moe()
-    graph = build_training_graph(cfg, batch=24, seq=512, num_gpus=16)
+    # 1. Declare the workload: the paper's GPT2-S-MoE (12 layers, every
+    #    other FFN an MoE layer, two experts per GPU) on a 2-node p4de
+    #    cluster (8x A100 + 4x100 Gbps NICs per node).  `Scenario.preset`
+    #    names every benchmark workload; fields can be overridden.
+    scenario = Scenario.preset("gpt2-s-moe/a100x16")
+    graph = scenario.build_graph()
+    cfg = scenario.model_config()
     print(f"model: {cfg.name}, {len(graph.program)} IR instructions, "
-          f"{cfg.num_experts(16)} experts, capacity {graph.moe_layers and cfg.capacity(24, 512, 16)}")
+          f"{cfg.num_experts(16)} experts, "
+          f"capacity {cfg.capacity(scenario.resolved_batch(), scenario.resolved_seq(), 16)}")
 
-    # 2. A 2-node p4de cluster (8x A100 + 4x100 Gbps NICs per node).
-    cluster = ClusterSpec.p4de(num_nodes=2)
-
-    # 3. Run Lancet: dW schedule pass + operator partition pass.
-    optimizer = LancetOptimizer(cluster)
-    optimized, report = optimizer.optimize(graph)
-    print(f"\nLancet optimization took {report.optimization_seconds:.2f}s")
-    print(f"  dW instructions moved: {report.dw_schedule.num_dw_moved}"
-          f"/{report.dw_schedule.num_dw_total}")
-    print(f"  partition plans: {[(p.parts) for p in report.partition.plans]} "
+    # 2. Compile: runs Lancet's dW schedule pass + operator partition
+    #    pass and returns a Plan -- the optimized program plus its
+    #    annotations, routing signatures, and predicted iteration time.
+    plan = compile(scenario)
+    print(f"\nLancet compilation took {plan.planner['compile_seconds']:.2f}s")
+    print(f"  dW instructions moved: {plan.planner['num_dw_moved']}"
+          f"/{plan.planner['num_dw_total']}")
+    print(f"  partition plans: {plan.partition_degrees()} "
           f"(one pipeline per MoE layer)")
-    print(f"  predicted iteration time: {report.predicted_iteration_ms:.1f} ms")
+    print(f"  predicted iteration time: {plan.predicted_iteration_ms:.1f} ms")
 
-    # 4. Simulate one iteration of each schedule on the cluster model.
-    baseline_sim = SimulationConfig(
-        cluster=cluster, padded_a2a=True, routing=SyntheticRoutingModel(seed=1)
+    # 3. Simulate one iteration of each schedule on the cluster model.
+    #    plan.simulate() replays the plan under the scenario's routing;
+    #    the baseline runs the unoptimized program with padded buffers.
+    after = plan.simulate()
+    before = simulate_program(
+        graph.program,
+        config=SimulationConfig(
+            cluster=plan.cluster, padded_a2a=True,
+            routing=scenario.routing_model(),
+        ),
     )
-    lancet_sim = SimulationConfig(
-        cluster=cluster, padded_a2a=False, routing=SyntheticRoutingModel(seed=1)
-    )
-    before = simulate_program(graph.program, config=baseline_sim)
-    after = simulate_program(optimized, config=lancet_sim)
 
     b0, b1 = before.breakdown(), after.breakdown()
     e0 = before.exposed_time_of({"all_to_all"})

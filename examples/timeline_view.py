@@ -11,12 +11,9 @@ See docs/TUTORIAL.md (step 6) for how to read these timelines.
 """
 
 from repro import (
-    ClusterSpec,
-    GPT2MoEConfig,
-    LancetOptimizer,
+    Scenario,
     SimulationConfig,
-    SyntheticRoutingModel,
-    build_training_graph,
+    compile,
     simulate_cluster,
     simulate_program,
 )
@@ -47,24 +44,18 @@ def first_moe_window(graph, timeline, pad_ms=1.0):
 
 
 def main() -> None:
-    graph = build_training_graph(
-        GPT2MoEConfig.gpt2_s_moe(), batch=24, seq=512, num_gpus=16
-    )
-    cluster = ClusterSpec.p4de(2)
-    optimized, _ = LancetOptimizer(cluster).optimize(graph)
+    scenario = Scenario.preset("gpt2-s-moe/a100x16")
+    graph = scenario.build_graph()
+    plan = compile(scenario)
+    cluster = plan.cluster
 
     base_tl = simulate_program(
         graph.program,
         config=SimulationConfig(
-            cluster=cluster, padded_a2a=True, routing=SyntheticRoutingModel(seed=1)
+            cluster=cluster, padded_a2a=True, routing=scenario.routing_model()
         ),
     )
-    opt_tl = simulate_program(
-        optimized,
-        config=SimulationConfig(
-            cluster=cluster, padded_a2a=False, routing=SyntheticRoutingModel(seed=1)
-        ),
-    )
+    opt_tl = plan.simulate()
 
     print("=== baseline (RAF schedule): first MoE layer, forward ===")
     lo, hi = first_moe_window(graph, base_tl)
@@ -85,15 +76,14 @@ def main() -> None:
     # Lancet's irregular all-to-all tracks the realized routing, so with
     # skewed expert popularity each device's collective busy time
     # differs; a slowed device 0 additionally drags every collective.
+    skew = scenario.with_(concentration=1.0, hot_experts=2, hot_boost=0.3)
     skew_cfg = SimulationConfig(
         cluster=cluster,
         padded_a2a=False,
-        routing=SyntheticRoutingModel(
-            seed=1, concentration=1.0, hot_experts=2, hot_boost=0.3
-        ),
+        routing=skew.routing_model(),
         straggler_slowdown={0: 1.25},
     )
-    ctl = simulate_cluster(optimized, config=skew_cfg)
+    ctl = simulate_cluster(plan.program, config=skew_cfg)
     print(render_cluster_timeline(ctl, width=88, start_ms=lo, end_ms=hi,
                                   devices=[0, 1, 8]))
     print("device lanes differ: hot-expert owners' A columns run longer,")

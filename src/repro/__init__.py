@@ -6,7 +6,16 @@ gradient computations are rescheduled to hide backward-pass all-to-alls,
 and non-MoE forward computation is partitioned into a computation/
 communication pipeline around each MoE layer.
 
-Typical usage::
+Typical usage -- the :mod:`repro.api` facade::
+
+    from repro import PlanStore, Scenario, compile
+
+    plan = compile(Scenario.preset("gpt2-s-moe/a100x16"),
+                   store=PlanStore("plans/"))
+    timeline = plan.simulate()
+
+The pre-facade entry points remain supported unchanged (the facade
+composes them)::
 
     from repro import (
         GPT2MoEConfig, build_training_graph, ClusterSpec, LancetOptimizer,
@@ -19,6 +28,19 @@ Typical usage::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
+__version__ = "1.1.0"
+
+from .api import (
+    Plan,
+    PlanError,
+    PlanPolicy,
+    PlanSchemaError,
+    PlanStore,
+    Scenario,
+    compile,
+    graph_fingerprint,
+    load_plan,
+)
 from .core import (
     LancetHyperParams,
     LancetOptimizer,
@@ -40,8 +62,11 @@ from .runtime import (
     simulate_cluster,
     simulate_program,
 )
+from .train import ReoptimizingTrainer, Trainer
 
-__version__ = "1.0.0"
+#: legacy spelling of :func:`repro.api.compile` (kept for callers that
+#: avoid shadowing the ``compile`` builtin)
+compile_plan = compile
 
 __all__ = [
     "ClusterSpec",
@@ -54,16 +79,28 @@ __all__ = [
     "ModelGraph",
     "OperatorPartitionPass",
     "PassManager",
+    "Plan",
+    "PlanError",
+    "PlanPolicy",
+    "PlanSchemaError",
+    "PlanStore",
     "Program",
+    "ReoptimizingTrainer",
     "RoutingSignature",
     "RunConfig",
+    "Scenario",
     "SimulationConfig",
     "SyntheticRoutingModel",
     "Timeline",
     "Topology",
+    "Trainer",
     "UniformRoutingModel",
     "WeightGradSchedulePass",
     "build_training_graph",
+    "compile",
+    "compile_plan",
+    "graph_fingerprint",
+    "load_plan",
     "simulate_cluster",
     "simulate_program",
     "validate",

@@ -1,0 +1,176 @@
+"""``compile()``: the single front door to Lancet planning.
+
+Turns a workload -- a declarative :class:`~repro.api.scenario.Scenario`,
+a built :class:`~repro.models.ModelGraph`, or a raw
+:class:`~repro.ir.Program` -- into a :class:`~repro.api.plan.Plan`
+artifact.  With a :class:`~repro.api.store.PlanStore` attached, compile
+is a cache: a warm lookup returns a stored plan without constructing an
+optimizer at all (zero cost-model evaluations), which is what makes
+plans computed once reusable by every later process.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+from ..core.lancet import LancetOptimizer
+from ..ir import Program
+from ..models import ModelGraph
+from ..runtime.cluster import ClusterSpec
+from ..runtime.device import COMPILED, FrameworkProfile
+from .fingerprint import graph_fingerprint
+from .plan import Plan, PlanError, PlanPolicy
+from .scenario import Scenario
+from .store import PlanStore
+
+
+def _store_lookup(lookup, *args):
+    """Run a store lookup, degrading store problems to a cache miss.
+
+    A corrupt entry or one written under a newer schema (by another
+    fleet member) must not make compilation impossible -- the planner
+    can always recompute, and the subsequent ``put`` replaces the bad
+    entry.  The problem is surfaced as a warning rather than swallowed;
+    direct ``PlanStore.get`` / ``Plan.load`` callers still get the
+    exception.
+    """
+    try:
+        return lookup(*args)
+    except PlanError as err:
+        warnings.warn(
+            f"plan store lookup failed ({err}); re-planning", stacklevel=3
+        )
+        return None
+
+
+def _observed_signatures(program: Program, scenario: Scenario, cluster) -> dict | None:
+    """The routing signatures a scenario's realization induces on a
+    program (what the skew-aware planner conditions on)."""
+    from ..runtime.simulate import SimulationConfig, observed_routing_signatures
+
+    config = SimulationConfig(
+        cluster=cluster,
+        padded_a2a=False,
+        routing=scenario.routing_model(),
+    )
+    return observed_routing_signatures(program, config) or None
+
+
+def compile(
+    workload: Scenario | ModelGraph | Program,
+    cluster: ClusterSpec | None = None,
+    *,
+    policy: PlanPolicy | None = None,
+    store: PlanStore | None = None,
+    signatures: dict | None = None,
+    framework: FrameworkProfile = COMPILED,
+    check: bool = True,
+) -> Plan:
+    """Compile a workload into a :class:`~repro.api.plan.Plan`.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`Scenario` (cluster and routing are derived from it),
+        or a :class:`ModelGraph` / :class:`Program` with an explicit
+        ``cluster``.
+    cluster:
+        Target cluster; required for graph/program workloads, optional
+        override for scenarios.
+    policy:
+        Optimizer knobs (defaults to :class:`PlanPolicy`'s defaults:
+        both passes on, skew-aware, flat collectives).
+    store:
+        Plan cache consulted before planning and updated after; a warm
+        hit skips the planner entirely (``plan.from_store`` is True and
+        no :class:`~repro.core.LancetOptimizer` is constructed).
+    signatures:
+        Explicit per-layer routing signatures to plan against
+        (overrides the scenario-derived observation).
+    framework:
+        Execution-stack profile to price compute against.
+    check:
+        Validate the IR after each pass.
+    """
+    policy = policy or PlanPolicy()
+    scenario = workload if isinstance(workload, Scenario) else None
+    # overrides make the result unreproducible from the scenario alone,
+    # so such plans must never enter (or be served from) the scenario
+    # index -- only the canonical fingerprint-keyed path applies
+    scenario_pure = (
+        scenario is not None and cluster is None and signatures is None
+    )
+
+    if scenario is not None:
+        # fast path: a pure scenario's store key is memoized, so a warm
+        # lookup needs no graph build, no fingerprint, no observation
+        if store is not None and scenario_pure:
+            plan = _store_lookup(
+                store.lookup_scenario, scenario, policy, framework
+            )
+            if plan is not None:
+                return plan
+        graph = scenario.build_graph()
+        cluster = cluster or scenario.build_cluster()
+        source = graph
+        if signatures is None and policy.skew_aware:
+            signatures = _observed_signatures(graph.program, scenario, cluster)
+    elif isinstance(workload, (ModelGraph, Program)):
+        if cluster is None:
+            raise TypeError(
+                "compile(graph_or_program) requires an explicit cluster"
+            )
+        source = workload
+    else:
+        raise TypeError(
+            f"workload must be a Scenario, ModelGraph, or Program; "
+            f"got {type(workload).__name__}"
+        )
+
+    program = source.program if isinstance(source, ModelGraph) else source
+    fingerprint = graph_fingerprint(program)
+
+    if store is not None:
+        plan = _store_lookup(
+            store.get, fingerprint, cluster, policy, framework, signatures
+        )
+        if plan is not None:
+            return plan
+
+    t0 = time.perf_counter()
+    optimizer = LancetOptimizer(
+        cluster,
+        framework=framework,
+        hyper_params=policy.hyper_params(),
+        enable_dw_schedule=policy.enable_dw_schedule,
+        enable_partition=policy.enable_partition,
+        defer_allreduce=policy.defer_allreduce,
+        routing_signatures=signatures,
+        enable_hierarchical_a2a=policy.enable_hierarchical_a2a,
+    )
+    optimized, report = optimizer.optimize(source, check=check)
+    compile_seconds = time.perf_counter() - t0
+
+    planner = report.summary_dict()
+    planner["compile_seconds"] = compile_seconds
+    plan = Plan(
+        program=optimized,
+        cluster=cluster,
+        policy=policy,
+        fingerprint=fingerprint,
+        predicted_iteration_ms=report.predicted_iteration_ms,
+        framework=framework,
+        signatures=report.routing_signatures,
+        scenario=scenario,
+        planner=planner,
+        report=report,
+    )
+    if store is not None:
+        store.put(plan, index_scenario=scenario_pure)
+    return plan
+
+
+def load_plan(path, materialize: bool = True) -> Plan:
+    """Read a plan artifact from disk (alias of :meth:`Plan.load`)."""
+    return Plan.load(path, materialize=materialize)

@@ -1,0 +1,40 @@
+"""Stable identities for graphs, clusters, and policies.
+
+A :class:`~repro.api.store.PlanStore` entry must be reusable by a
+different process than the one that produced it, so cache keys cannot
+contain anything process-local (instruction uids, object ids, hash
+randomization).  Everything here reduces to canonical JSON hashed with
+SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..ir import Program, structural_program_dict
+
+
+def canonical_digest(payload) -> str:
+    """SHA-256 hex digest of a JSON-compatible payload's canonical form."""
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def graph_fingerprint(graph_or_program) -> str:
+    """Structural fingerprint of a training graph.
+
+    Uid-independent (see :func:`repro.ir.structural_program_dict`): two
+    processes that build the same model/batch/cluster-size graph compute
+    the same fingerprint, which is what lets a fleet share one plan
+    store.  Accepts a :class:`~repro.models.ModelGraph` or a raw
+    :class:`~repro.ir.Program`.
+    """
+    program = getattr(graph_or_program, "program", graph_or_program)
+    if not isinstance(program, Program):
+        raise TypeError(
+            f"expected a ModelGraph or Program, got {type(graph_or_program).__name__}"
+        )
+    return "sha256:" + canonical_digest(structural_program_dict(program))

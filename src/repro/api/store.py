@@ -1,0 +1,251 @@
+"""Disk-backed plan cache shared across processes.
+
+A :class:`PlanStore` maps *what was planned* -- the canonical key
+``(graph fingerprint, cluster spec, framework, policy, signature
+bucket)`` -- to a saved :class:`~repro.api.plan.Plan`, so that a second
+process (or a fleet of trainers) gets a warm plan for the price of a
+JSON read instead of a planner run.  Keys contain nothing process-local
+(see :mod:`repro.api.fingerprint`); signatures enter the key in their
+quantized bucket form, exactly like the in-memory plan cache of
+:class:`~repro.train.ReoptimizingTrainer`, so realizations that would
+yield the same plan share an entry.
+
+Layout: one ``<digest>.plan.json`` per entry under the store root, plus
+``scenario_index.json`` mapping scenario identities to entry digests --
+the memo that lets ``compile(scenario, store=...)`` answer a warm lookup
+without even building the graph.  Writes are atomic (write-to-temp +
+rename), so concurrent writers at worst duplicate work, never corrupt
+an entry.  Reads of entries this process already loaded are served from
+an in-memory cache, invalidated by file mtime/size.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..runtime.cluster import ClusterSpec
+from ..runtime.device import FrameworkProfile
+from .codec import cluster_to_json, framework_to_json
+from .fingerprint import canonical_digest
+from .plan import (
+    Plan,
+    PlanError,
+    PlanPolicy,
+    PlanSchemaError,
+    atomic_write_text,
+)
+from .scenario import Scenario
+
+#: quantization (decimal digits) of signature loads in store keys --
+#: matches the ReoptimizingTrainer plan-cache default
+DEFAULT_KEY_DIGITS = 2
+
+
+def signature_bucket(signatures: dict | None, digits: int = DEFAULT_KEY_DIGITS):
+    """Quantized, canonical form of a signature mapping for cache keys
+    (``None`` -- the uniform approximation -- buckets as ``None``)."""
+    if not signatures:
+        return None
+    return [
+        [str(layer), list(sig.key(digits))]
+        for layer, sig in sorted(signatures.items(), key=lambda kv: str(kv[0]))
+    ]
+
+
+class PlanStore:
+    """Disk-backed, cross-process plan cache (see module docstring).
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created if missing).
+    digits:
+        Signature-bucket quantization used in keys.
+    """
+
+    def __init__(self, root, digits: int = DEFAULT_KEY_DIGITS) -> None:
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.digits = digits
+        self._memory: dict[str, tuple[tuple, Plan]] = {}
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "memory_hits": 0,
+            "scenario_hits": 0,
+        }
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+        signatures: dict | None = None,
+    ) -> str:
+        """Digest of the canonical cache key."""
+        payload = {
+            "fingerprint": fingerprint,
+            "cluster": cluster_to_json(cluster),
+            "framework": framework_to_json(framework),
+            "policy": policy.to_dict(),
+            "signatures": signature_bucket(signatures, self.digits),
+        }
+        return canonical_digest(payload)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key[:32]}.plan.json"
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+        signatures: dict | None = None,
+    ) -> Plan | None:
+        """Warm plan for a key, or ``None`` on a miss.
+
+        Loaded plans are lazy (the program decodes on first access);
+        corrupted entries raise :class:`~repro.api.plan.PlanError`
+        rather than deserializing garbage.
+        """
+        key = self.key_for(fingerprint, cluster, policy, framework, signatures)
+        plan = self._load(key)
+        self.stats["hits" if plan is not None else "misses"] += 1
+        return plan
+
+    def _load(self, key: str) -> Plan | None:
+        path = self.path_for(key)
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        stamp = (st.st_mtime_ns, st.st_size)
+        cached = self._memory.get(key)
+        if cached is not None and cached[0] == stamp:
+            self.stats["memory_hits"] += 1
+            return cached[1]
+        try:
+            plan = Plan.load(path, materialize=False)
+        except PlanSchemaError as err:
+            # preserve the type: schema mismatches mean "re-compile",
+            # not "corrupt", and callers dispatch on it
+            raise PlanSchemaError(f"plan store entry {path}: {err}") from err
+        except PlanError as err:
+            raise PlanError(f"corrupt plan store entry {path}: {err}") from err
+        plan.from_store = True
+        self._memory[key] = (stamp, plan)
+        return plan
+
+    def put(self, plan: Plan, index_scenario: bool = True) -> pathlib.Path:
+        """Persist a plan under its canonical key; returns the entry path.
+
+        Only disk loads are memoized -- a later ``get`` of this entry
+        returns a *store* plan (``from_store=True``), not the caller's
+        freshly compiled object.  ``index_scenario=False`` suppresses
+        the scenario-index entry (used when the plan was compiled with
+        overrides -- cluster, explicit signatures -- that a plain
+        scenario compile would not reproduce).
+        """
+        key = self.key_for(
+            plan.fingerprint,
+            plan.cluster,
+            plan.policy,
+            plan.framework,
+            plan.signatures,
+        )
+        path = plan.save(self.path_for(key))
+        self._memory.pop(key, None)
+        self.stats["puts"] += 1
+        if index_scenario and plan.scenario is not None:
+            self._index_scenario(plan.scenario, plan.policy, plan.framework, key)
+        return path
+
+    # -- scenario index ------------------------------------------------------
+    #
+    # The canonical key needs the graph fingerprint and observed
+    # signatures, both of which cost a graph build to recompute.  For
+    # declarative scenarios that mapping is deterministic, so the store
+    # memoizes scenario identity -> entry digest on every put; a warm
+    # ``compile(scenario, store=...)`` then costs one JSON read total.
+
+    @property
+    def _index_path(self) -> pathlib.Path:
+        return self.root / "scenario_index.json"
+
+    def _scenario_key(
+        self, scenario: Scenario, policy: PlanPolicy, framework: FrameworkProfile
+    ) -> str:
+        return canonical_digest(
+            {
+                "scenario": scenario.to_dict(),
+                "policy": policy.to_dict(),
+                "framework": framework_to_json(framework),
+            }
+        )
+
+    def _read_index(self) -> dict:
+        try:
+            return json.loads(self._index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _index_scenario(
+        self,
+        scenario: Scenario,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+        key: str,
+    ) -> None:
+        index = self._read_index()
+        index[self._scenario_key(scenario, policy, framework)] = key
+        atomic_write_text(
+            self._index_path, json.dumps(index, indent=1, sort_keys=True)
+        )
+
+    def lookup_scenario(
+        self,
+        scenario: Scenario,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+    ) -> Plan | None:
+        """Warm plan for a scenario identity, or ``None``."""
+        key = self._read_index().get(
+            self._scenario_key(scenario, policy, framework)
+        )
+        plan = self._load(key) if key else None
+        if plan is not None:
+            self.stats["scenario_hits"] += 1
+            self.stats["hits"] += 1
+        else:
+            self.stats["misses"] += 1
+        return plan
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """Paths of every stored plan."""
+        return sorted(self.root.glob("*.plan.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> None:
+        """Delete every entry (and the scenario index)."""
+        for path in self.entries():
+            path.unlink()
+        try:
+            self._index_path.unlink()
+        except OSError:
+            pass
+        self._memory.clear()
+
+    def __repr__(self) -> str:
+        return f"PlanStore({str(self.root)!r}, {len(self)} plans)"

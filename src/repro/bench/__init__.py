@@ -12,6 +12,7 @@ from .harness import (
     model_by_name,
     paper_batch,
     run_setting,
+    set_default_seed,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "model_by_name",
     "paper_batch",
     "run_setting",
+    "set_default_seed",
 ]

@@ -71,6 +71,30 @@ class LancetReport:
         """Total optimization wall time (paper Fig. 15)."""
         return sum(t.seconds for t in self.pass_timings)
 
+    def summary_dict(self) -> dict:
+        """JSON-compatible summary of the optimizer run -- what a
+        serialized :class:`~repro.api.Plan` records about its origin
+        (the full report object holds live pass state and is not
+        serializable itself)."""
+        out = {
+            "optimization_seconds": self.optimization_seconds,
+            "pass_seconds": {t.name: t.seconds for t in self.pass_timings},
+            "predicted_iteration_ms": self.predicted_iteration_ms,
+            "profiled_ops": self.profiled_ops,
+            "skew_aware": self.skew_aware,
+            "warm_planned": self.warm_planned,
+        }
+        if self.dw_schedule is not None:
+            out["num_dw_total"] = self.dw_schedule.num_dw_total
+            out["num_dw_moved"] = self.dw_schedule.num_dw_moved
+        if self.partition is not None:
+            out["num_cost_evals"] = self.partition.num_cost_evals
+            out["num_pipeline_sims"] = self.partition.num_pipeline_sims
+            out["partition_degrees"] = [p.parts for p in self.partition.plans]
+        if self.a2a_algorithms is not None:
+            out["a2a_algorithms"] = dict(self.a2a_algorithms)
+        return out
+
 
 class LancetOptimizer:
     """Automatic MoE-training optimizer over the IR.

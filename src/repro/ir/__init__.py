@@ -7,10 +7,17 @@ optimization passes rewrite.
 
 from .autodiff import build_backward, insert_gradient_sync, insert_sgd
 from .graph import DependencyGraph, verify_schedulable
-from .instruction import Instruction, InstrKind
+from .instruction import Instruction, InstrKind, ensure_uid_floor
 from .ops import OpSpec, Stream, all_ops, get_op
 from .passes import Pass, PassManager, PassTiming
 from .program import Program
+from .serialize import (
+    IR_SCHEMA_VERSION,
+    SerializationError,
+    program_from_json,
+    program_to_json,
+    structural_program_dict,
+)
 from .tensor import (
     AXIS_IRREGULAR,
     NOT_PARTITIONED,
@@ -25,12 +32,14 @@ from .validate import ValidationError, validate
 
 __all__ = [
     "AXIS_IRREGULAR",
+    "IR_SCHEMA_VERSION",
     "NOT_PARTITIONED",
     "DType",
     "DependencyGraph",
     "Dim",
     "Instruction",
     "InstrKind",
+    "SerializationError",
     "OpSpec",
     "Pass",
     "PassManager",
@@ -43,10 +52,14 @@ __all__ = [
     "all_ops",
     "axis_name",
     "build_backward",
+    "ensure_uid_floor",
     "get_op",
     "insert_gradient_sync",
     "insert_sgd",
+    "program_from_json",
+    "program_to_json",
     "route_type",
+    "structural_program_dict",
     "validate",
     "verify_schedulable",
 ]

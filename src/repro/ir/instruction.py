@@ -36,6 +36,17 @@ class InstrKind(enum.Enum):
 _instr_counter = itertools.count()
 
 
+def ensure_uid_floor(floor: int) -> None:
+    """Advance the global uid counter to at least ``floor``.
+
+    Deserializing a program (see :mod:`repro.ir.serialize`) installs
+    instructions with their original uids; the counter must clear them
+    so instructions created afterwards can never collide.
+    """
+    global _instr_counter
+    _instr_counter = itertools.count(max(next(_instr_counter), floor))
+
+
 @dataclass(frozen=True)
 class Instruction:
     """One IR instruction.

@@ -188,6 +188,22 @@ class Program:
         p._next_value_id = itertools.count(top)
         return p
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-compatible dict that round-trips bit-identically through
+        :meth:`from_json` (see :mod:`repro.ir.serialize`)."""
+        from .serialize import program_to_json
+
+        return program_to_json(self)
+
+    @classmethod
+    def from_json(cls, obj: dict, check: bool = True) -> "Program":
+        """Reconstruct a program serialized by :meth:`to_json`."""
+        from .serialize import program_from_json
+
+        return program_from_json(obj, check=check)
+
     # -- debugging ---------------------------------------------------------------
 
     def dump(self, max_instrs: int | None = None) -> str:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.plan import Plan, PlanPolicy
 from ..core.cache import LRUCache
 from ..ir import Program
 from ..models.gpt2_moe import ModelGraph
@@ -32,6 +33,24 @@ from ..models.init import init_param_values
 from ..runtime.executor import DeviceEnv, NumericExecutor
 from ..runtime.routing_model import RoutingSignature
 from .data import SyntheticCorpus
+
+
+def _check_plan_matches(plan: Plan, graph: ModelGraph) -> None:
+    """Refuse a plan compiled for a different graph.
+
+    A mismatched plan would install a wrong (or crashing) schedule and
+    -- worse, with a shared store -- publish re-plans under the wrong
+    fingerprint, poisoning every other trainer's cache.
+    """
+    from ..api.fingerprint import graph_fingerprint
+
+    actual = graph_fingerprint(graph.program)
+    if plan.fingerprint != actual:
+        raise ValueError(
+            f"plan was compiled for a different graph "
+            f"(plan fingerprint {plan.fingerprint[:23]}..., "
+            f"this graph {actual[:23]}...); re-compile for this workload"
+        )
 
 
 @dataclass
@@ -55,7 +74,9 @@ class Trainer:
         The built model graph (provides metadata: inputs, loss, devices).
     program:
         The schedule to execute; defaults to ``graph.program``.  Pass a
-        Lancet-optimized program to train with the optimized schedule.
+        Lancet-optimized program -- or a compiled
+        :class:`~repro.api.Plan` artifact -- to train with the optimized
+        schedule.
     seed:
         Controls parameter init and the synthetic corpus.
     parallel:
@@ -67,12 +88,15 @@ class Trainer:
     def __init__(
         self,
         graph: ModelGraph,
-        program: Program | None = None,
+        program: Program | Plan | None = None,
         seed: int = 0,
         lr_corpus_alpha: float = 1.1,
         parallel: bool | None = None,
     ) -> None:
         self.graph = graph
+        if isinstance(program, Plan):
+            _check_plan_matches(program, graph)
+            program = program.program
         self.program = program if program is not None else graph.program
         self.g = graph.num_gpus
         self.corpus = SyntheticCorpus(
@@ -152,6 +176,9 @@ class ReoptimizationEvent:
     #: whether the partition planner reused its warm-start state
     #: (False on plan-cache hits: the optimizer never ran)
     warm_start: bool = False
+    #: whether the re-plan came out of the shared :class:`PlanStore`
+    #: (another process -- or an earlier run -- already planned it)
+    store_hit: bool = False
 
 
 class ReoptimizingTrainer(Trainer):
@@ -178,6 +205,17 @@ class ReoptimizingTrainer(Trainer):
         an unbounded stream of distinct signatures, so the cache must be
         bounded; hits/misses/evictions are exposed via
         :attr:`plan_cache_stats`.
+    plan:
+        Optional pre-compiled :class:`~repro.api.Plan` to start from
+        (e.g. a :class:`~repro.api.PlanStore` warm load): the initial
+        optimizer run is skipped and the plan's schedule, prediction,
+        and routing signatures are installed directly.
+    store:
+        Optional shared :class:`~repro.api.PlanStore`.  Consulted
+        (after the in-memory cache) before every re-optimization --
+        another process may already have planned this signature bucket
+        -- and every fresh re-plan is published back, so a fleet of
+        trainers amortizes planning work.
     """
 
     def __init__(
@@ -190,14 +228,32 @@ class ReoptimizingTrainer(Trainer):
         seed: int = 0,
         lr_corpus_alpha: float = 1.1,
         parallel: bool | None = None,
+        plan: Plan | None = None,
+        store=None,
     ) -> None:
         self.optimizer = optimizer
         self.drift_threshold = drift_threshold
         self.cache_digits = cache_digits
-        # initial schedule: optimized for the uniform approximation
-        # (no routing has been observed yet)
-        optimizer.set_routing_signatures(None)
-        program, report = optimizer.optimize(graph)
+        self.store = store
+        if plan is not None:
+            _check_plan_matches(plan, graph)
+            if plan.cluster != optimizer.cluster:
+                raise ValueError(
+                    f"plan was compiled for cluster {plan.cluster.name}, "
+                    f"but the optimizer targets {optimizer.cluster.name}"
+                )
+            program = plan.program
+            predicted = plan.predicted_iteration_ms
+            initial_signatures = dict(plan.signatures or {})
+            self._fingerprint = plan.fingerprint
+        else:
+            # initial schedule: optimized for the uniform approximation
+            # (no routing has been observed yet)
+            optimizer.set_routing_signatures(None)
+            program, report = optimizer.optimize(graph)
+            predicted = report.predicted_iteration_ms
+            initial_signatures = {}
+            self._fingerprint = None
         super().__init__(
             graph,
             program=program,
@@ -206,8 +262,8 @@ class ReoptimizingTrainer(Trainer):
             parallel=parallel,
         )
         #: signatures the *current* schedule was optimized for
-        self.plan_signatures: dict[object, RoutingSignature] = {}
-        self.predicted_ms = report.predicted_iteration_ms
+        self.plan_signatures: dict[object, RoutingSignature] = initial_signatures
+        self.predicted_ms = predicted
         #: plan cache: quantized signature key -> (program, predicted_ms),
         #: LRU-bounded (signatures form an unbounded key stream)
         self._plan_cache: LRUCache = LRUCache(
@@ -280,6 +336,75 @@ class ReoptimizingTrainer(Trainer):
             for layer, sig in sorted(self._observed.items())
         )
 
+    def _policy(self) -> PlanPolicy:
+        """The plan-store policy identity of this trainer's optimizer.
+
+        Every knob that shapes the resulting schedule must be part of
+        the identity, or trainers configured differently would alias to
+        one store entry and install each other's schedules.
+        """
+        opt = self.optimizer
+        return PlanPolicy(
+            enable_dw_schedule=opt.enable_dw_schedule,
+            enable_partition=opt.enable_partition,
+            defer_allreduce=opt.defer_allreduce,
+            enable_hierarchical_a2a=opt.enable_hierarchical_a2a,
+            skew_aware=True,
+            max_partitions=opt.hyper_params.max_partitions,
+            group_ms=opt.hyper_params.group_ms,
+            max_range_groups=opt.hyper_params.max_range_groups,
+        )
+
+    def _ensure_fingerprint(self) -> str:
+        """Structural fingerprint of the source graph (computed once)."""
+        if self._fingerprint is None:
+            from ..api.fingerprint import graph_fingerprint
+
+            self._fingerprint = graph_fingerprint(self.graph.program)
+        return self._fingerprint
+
+    def _store_get(self):
+        """Warm plan for the current observation from the shared store.
+
+        Store problems (corrupt entry, incompatible schema written by a
+        newer build in the fleet) degrade to a cache miss -- the trainer
+        can always re-plan, so a shared-cache read failure must never
+        abort training.
+        """
+        if self.store is None:
+            return None
+        from ..api.plan import PlanError
+
+        try:
+            plan = self.store.get(
+                self._ensure_fingerprint(),
+                self.optimizer.cluster,
+                self._policy(),
+                self.optimizer.framework,
+                dict(self._observed),
+            )
+            if plan is not None:
+                plan.program  # materialize now: decode failures = miss
+            return plan
+        except PlanError:
+            return None
+
+    def _store_put(self, program: Program, report) -> None:
+        """Publish a fresh re-plan so other trainers skip the planner."""
+        if self.store is None:
+            return
+        plan = Plan(
+            program=program,
+            cluster=self.optimizer.cluster,
+            policy=self._policy(),
+            fingerprint=self._ensure_fingerprint(),
+            predicted_iteration_ms=report.predicted_iteration_ms,
+            framework=self.optimizer.framework,
+            signatures=dict(self._observed),
+            planner=report.summary_dict(),
+        )
+        self.store.put(plan)
+
     def step(self) -> StepResult:
         result = super().step()
         drift = self.routing_drift()
@@ -288,19 +413,29 @@ class ReoptimizingTrainer(Trainer):
         key = self._signature_key()
         cached = self._plan_cache.get(key)
         warm = False
+        store_hit = False
         if cached is not None:
             program, predicted = cached
             wall = 0.0
         else:
-            t0 = time.perf_counter()
-            self.optimizer.set_routing_signatures(dict(self._observed))
-            # the optimizer re-plans incrementally: its PlannerState
-            # carries every signature-independent DP table over from the
-            # previous plan, so only the drifted pricing is redone
-            program, report = self.optimizer.optimize(self.graph)
-            wall = time.perf_counter() - t0
-            predicted = report.predicted_iteration_ms
-            warm = report.warm_planned
+            stored = self._store_get()
+            if stored is not None:
+                # another process (or an earlier run) already planned
+                # this signature bucket: reuse its schedule verbatim
+                program, predicted = stored.program, stored.predicted_iteration_ms
+                wall = 0.0
+                store_hit = True
+            else:
+                t0 = time.perf_counter()
+                self.optimizer.set_routing_signatures(dict(self._observed))
+                # the optimizer re-plans incrementally: its PlannerState
+                # carries every signature-independent DP table over from
+                # the previous plan, so only the drifted pricing is redone
+                program, report = self.optimizer.optimize(self.graph)
+                wall = time.perf_counter() - t0
+                predicted = report.predicted_iteration_ms
+                warm = report.warm_planned
+                self._store_put(program, report)
             self._plan_cache.put(key, (program, predicted))
         self._install_program(program, predicted)
         self.plan_signatures = dict(self._observed)
@@ -313,6 +448,7 @@ class ReoptimizingTrainer(Trainer):
                 predicted_ms=predicted,
                 signature_key=key,
                 warm_start=warm,
+                store_hit=store_hit,
             )
         )
         return result

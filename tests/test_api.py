@@ -1,0 +1,562 @@
+"""The repro.api facade: Scenario, compile, Plan artifacts, PlanStore.
+
+Covers the ISSUE 5 acceptance criteria:
+
+- ``Plan.save`` / ``Plan.load`` round-trip reconstructs the program
+  bit-identically (same simulated timeline);
+- a ``PlanStore`` warm load skips the planner entirely (no
+  ``LancetOptimizer`` is even constructed -- zero cost evaluations);
+- store entries are invalidated by any key component: graph
+  fingerprint, cluster spec, policy, signature bucket;
+- corrupted or old-schema plan files raise clear errors instead of
+  deserializing garbage;
+- all pre-existing entry points keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    PLAN_SCHEMA_VERSION,
+    PlanError,
+    PlanPolicy,
+    PlanSchemaError,
+    PlanStore,
+    Scenario,
+    available_presets,
+    compile,
+    graph_fingerprint,
+    load_plan,
+)
+from repro.runtime import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(model="tiny", cluster="a100", num_gpus=8)
+
+
+@pytest.fixture(scope="module")
+def compiled(scenario):
+    return compile(scenario)
+
+
+class TestScenario:
+    def test_presets_cover_benchmark_workloads(self):
+        presets = available_presets()
+        assert "gpt2-s-moe/a100x16" in presets
+        assert "gpt2-l-moe/v100x64" in presets
+        assert "gpt2-s-moe/v100x32-hot" in presets
+        assert "tiny/a100x8" in presets
+
+    def test_preset_resolves_paper_settings(self):
+        sc = Scenario.preset("gpt2-s-moe/a100x16")
+        assert sc.resolved_batch() == 24  # paper Sec. 7 batch
+        assert sc.resolved_seq() == 512
+        assert sc.build_cluster().num_gpus == 16
+
+    def test_unknown_preset_and_model_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            Scenario.preset("gpt3/tpu")
+        with pytest.raises(ValueError, match="unknown model"):
+            Scenario(model="not-a-model")
+
+    def test_dict_round_trip(self, scenario):
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_model_name_normalized(self):
+        assert Scenario(model="gpt2-s-moe").model == "GPT2-S-MoE"
+
+    def test_hot_variant_routing(self):
+        sc = Scenario.preset("tiny/a100x8-hot")
+        routing = sc.routing_model()
+        assert routing.hot_experts > 0 and routing.hot_boost > 0
+
+
+class TestFingerprint:
+    def test_stable_across_builds(self, scenario):
+        a = graph_fingerprint(scenario.build_graph())
+        b = graph_fingerprint(scenario.build_graph())
+        assert a == b and a.startswith("sha256:")
+
+    def test_differs_for_different_workloads(self, scenario):
+        a = graph_fingerprint(scenario.build_graph())
+        b = graph_fingerprint(scenario.with_(batch=8).build_graph())
+        assert a != b
+
+    def test_rejects_non_programs(self):
+        with pytest.raises(TypeError):
+            graph_fingerprint(42)
+
+
+class TestCompile:
+    def test_scenario_compile_produces_plan(self, compiled, scenario):
+        assert compiled.predicted_iteration_ms > 0
+        assert compiled.fingerprint == graph_fingerprint(scenario.build_graph())
+        assert compiled.planner["num_cost_evals"] > 0
+        assert compiled.report is not None  # fresh compiles keep the report
+        assert not compiled.from_store
+
+    def test_skew_aware_by_default(self, compiled):
+        assert compiled.policy.skew_aware
+        assert compiled.signatures  # conditioned on observed routing
+
+    def test_uniform_policy_drops_signatures(self, scenario):
+        plan = compile(scenario, policy=PlanPolicy(skew_aware=False))
+        assert plan.signatures is None
+
+    def test_graph_workload_requires_cluster(self, scenario):
+        graph = scenario.build_graph()
+        with pytest.raises(TypeError, match="cluster"):
+            compile(graph)
+        plan = compile(graph, ClusterSpec.for_gpus("a100", 8))
+        assert plan.scenario is None
+        assert plan.predicted_iteration_ms > 0
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(TypeError, match="workload"):
+            compile("gpt2-s-moe/a100x16")
+
+    def test_legacy_entry_points_unchanged(self, scenario):
+        """The facade composes, never replaces, the original surface."""
+        from repro import (  # noqa: F401
+            LancetOptimizer,
+            SimulationConfig,
+            Trainer,
+            simulate_program,
+        )
+
+        graph = scenario.build_graph()
+        cluster = scenario.build_cluster()
+        optimized, report = LancetOptimizer(cluster).optimize(graph)
+        tl = simulate_program(
+            optimized,
+            config=SimulationConfig(
+                cluster=cluster,
+                padded_a2a=False,
+                routing=scenario.routing_model(),
+            ),
+        )
+        assert tl.makespan > 0 and report.predicted_iteration_ms > 0
+
+
+class TestPlanRoundTrip:
+    def test_save_load_simulates_bit_identically(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        reloaded = load_plan(path)
+        t1, t2 = compiled.simulate(), reloaded.simulate()
+        assert t1.makespan == t2.makespan
+        assert [(iv.uid, iv.start, iv.end) for iv in t1.intervals] == [
+            (iv.uid, iv.start, iv.end) for iv in t2.intervals
+        ]
+
+    def test_envelope_fields_preserved(self, compiled, tmp_path):
+        reloaded = load_plan(compiled.save(tmp_path / "t.plan.json"))
+        assert reloaded.fingerprint == compiled.fingerprint
+        assert reloaded.predicted_iteration_ms == compiled.predicted_iteration_ms
+        assert reloaded.cluster == compiled.cluster
+        assert reloaded.policy == compiled.policy
+        assert reloaded.framework == compiled.framework
+        assert reloaded.scenario == compiled.scenario
+        assert reloaded.signatures == compiled.signatures
+        assert reloaded.planner == compiled.planner
+        assert reloaded.report is None  # live report is not serialized
+
+    def test_serialized_form_is_stable(self, compiled, tmp_path):
+        """save(load(save(x))) produces the same document."""
+        p1 = compiled.save(tmp_path / "a.plan.json")
+        reloaded = load_plan(p1)
+        p2 = reloaded.save(tmp_path / "b.plan.json")
+        d1 = json.loads(p1.read_text())
+        d2 = json.loads(p2.read_text())
+        assert d1 == d2
+
+    def test_lazy_load_materializes_on_access(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        lazy = load_plan(path, materialize=False)
+        assert not lazy.materialized
+        assert lazy.predicted_iteration_ms == compiled.predicted_iteration_ms
+        assert len(lazy.program) == len(compiled.program)  # decodes here
+        assert lazy.materialized
+
+    def test_annotations_views(self, compiled):
+        annotations = compiled.annotations()
+        assert annotations, "an optimized plan has schedule annotations"
+        algos = compiled.a2a_algorithms()
+        assert sum(algos.values()) > 0
+
+
+class TestPlanErrors:
+    def test_not_json_raises_clear_error(self, tmp_path):
+        bad = tmp_path / "bad.plan.json"
+        bad.write_text("{definitely not json")
+        with pytest.raises(PlanError, match="not valid JSON"):
+            load_plan(bad)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PlanError, match="cannot read"):
+            load_plan(tmp_path / "nope.plan.json")
+
+    def test_wrong_document_type_rejected(self, tmp_path):
+        doc = tmp_path / "other.json"
+        doc.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(PlanError, match="not a plan document"):
+            load_plan(doc)
+
+    def test_old_schema_major_refused(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        obj = json.loads(path.read_text())
+        obj["schema_version"] = "0.9"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(PlanSchemaError, match="0.9"):
+            load_plan(path)
+
+    def test_future_schema_major_refused(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        obj = json.loads(path.read_text())
+        major = int(PLAN_SCHEMA_VERSION.split(".")[0])
+        obj["schema_version"] = f"{major + 1}.0"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(PlanSchemaError, match="incompatible"):
+            load_plan(path)
+
+    def test_corrupted_program_section_rejected(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        obj = json.loads(path.read_text())
+        obj["program"]["instructions"][0]["op"] = "no_such_op"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(PlanError, match="reconstruct"):
+            load_plan(path)  # materializes (and validates) eagerly
+
+    def test_truncated_envelope_rejected(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "t.plan.json")
+        obj = json.loads(path.read_text())
+        del obj["cluster"]
+        path.write_text(json.dumps(obj))
+        with pytest.raises(PlanError, match="malformed"):
+            load_plan(path)
+
+
+class TestPlanStore:
+    def test_put_get_round_trip(self, compiled, tmp_path):
+        store = PlanStore(tmp_path)
+        store.put(compiled)
+        hit = store.get(
+            compiled.fingerprint,
+            compiled.cluster,
+            compiled.policy,
+            compiled.framework,
+            compiled.signatures,
+        )
+        assert hit is not None and hit.from_store
+        assert hit.predicted_iteration_ms == compiled.predicted_iteration_ms
+        assert store.stats["hits"] == 1
+
+    def test_cross_process_hit(self, compiled, tmp_path):
+        """A fresh PlanStore instance (stand-in for another process)
+        sees entries written by the first."""
+        PlanStore(tmp_path).put(compiled)
+        other = PlanStore(tmp_path)
+        hit = other.get(
+            compiled.fingerprint,
+            compiled.cluster,
+            compiled.policy,
+            compiled.framework,
+            compiled.signatures,
+        )
+        assert hit is not None
+        # and it simulates identically to the in-process plan
+        assert hit.simulate().makespan == compiled.simulate().makespan
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            "fingerprint",
+            "cluster",
+            "policy",
+            "signatures",
+            "framework",
+        ],
+    )
+    def test_any_key_component_invalidates(self, compiled, tmp_path, mutate):
+        """A hit must become a miss when any part of the identity moves."""
+        from repro.runtime import RoutingSignature
+        from repro.runtime.device import TUTEL
+
+        store = PlanStore(tmp_path)
+        store.put(compiled)
+        query = {
+            "fingerprint": compiled.fingerprint,
+            "cluster": compiled.cluster,
+            "policy": compiled.policy,
+            "framework": compiled.framework,
+            "signatures": compiled.signatures,
+        }
+        changed = {
+            "fingerprint": "sha256:" + "0" * 64,
+            "cluster": ClusterSpec.for_gpus("v100", 8),
+            "policy": PlanPolicy(enable_hierarchical_a2a=True),
+            "signatures": {0: RoutingSignature(load=(9.0,) * 8)},
+            "framework": TUTEL,
+        }
+        query[mutate] = changed[mutate]
+        assert (
+            store.get(
+                query["fingerprint"],
+                query["cluster"],
+                query["policy"],
+                query["framework"],
+                query["signatures"],
+            )
+            is None
+        )
+        assert store.stats["misses"] == 1
+
+    def test_nearby_signatures_share_a_bucket(self, compiled, tmp_path):
+        """Quantization: realizations that round to the same loads reuse
+        the entry (same semantics as the trainer's plan cache)."""
+        from repro.runtime import RoutingSignature
+
+        store = PlanStore(tmp_path)
+        base = {0: RoutingSignature(load=(1.0,) * 7 + (1.5,))}
+        near = {0: RoutingSignature(load=(1.0,) * 7 + (1.5004,))}
+        far = {0: RoutingSignature(load=(1.0,) * 7 + (1.52,))}
+        plan = compile(
+            Scenario(model="tiny", cluster="a100", num_gpus=8),
+            signatures=base,
+            store=store,
+        )
+        args = (plan.fingerprint, plan.cluster, plan.policy, plan.framework)
+        assert store.get(*args, base) is not None
+        assert store.get(*args, near) is not None
+        assert store.get(*args, far) is None
+
+    def test_compile_degrades_corrupt_entry_to_replan(
+        self, compiled, scenario, tmp_path
+    ):
+        """compile() must stay usable when a fleet member corrupts (or
+        schema-bumps) a store entry: warn, re-plan, and overwrite."""
+        store = PlanStore(tmp_path)
+        cold = compile(scenario, store=store)
+        for path in store.entries():
+            path.write_text("{broken")
+        with pytest.warns(UserWarning, match="re-planning"):
+            again = compile(scenario, store=PlanStore(tmp_path))
+        assert not again.from_store
+        assert again.predicted_iteration_ms == cold.predicted_iteration_ms
+        # the bad entry was replaced; the next lookup is warm again
+        healed = compile(scenario, store=PlanStore(tmp_path))
+        assert healed.from_store
+
+    def test_corrupt_entry_raises_not_garbage(self, compiled, tmp_path):
+        store = PlanStore(tmp_path)
+        path = store.put(compiled)
+        path.write_text('{"schema": "repro.api/plan", "schema_version"')
+        fresh = PlanStore(tmp_path)
+        with pytest.raises(PlanError, match="corrupt"):
+            fresh.get(
+                compiled.fingerprint,
+                compiled.cluster,
+                compiled.policy,
+                compiled.framework,
+                compiled.signatures,
+            )
+
+    def test_clear_and_len(self, compiled, tmp_path):
+        store = PlanStore(tmp_path)
+        store.put(compiled)
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+
+class TestWarmCompileSkipsPlanner:
+    def test_store_hit_never_constructs_an_optimizer(
+        self, scenario, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion behind `num_cost_evals == 0`: a warm
+        compile must not even instantiate LancetOptimizer."""
+        store = PlanStore(tmp_path)
+        cold = compile(scenario, store=store)
+        assert not cold.from_store
+
+        import repro.api.compiler as compile_mod
+
+        def boom(*a, **k):  # pragma: no cover - would mean a planner run
+            raise AssertionError("planner ran on a warm store lookup")
+
+        monkeypatch.setattr(compile_mod, "LancetOptimizer", boom)
+        warm = compile(scenario, store=PlanStore(tmp_path))
+        assert warm.from_store
+        assert warm.predicted_iteration_ms == cold.predicted_iteration_ms
+        assert warm.simulate().makespan == cold.simulate().makespan
+
+    def test_override_compiles_never_enter_the_scenario_index(
+        self, scenario, tmp_path
+    ):
+        """A plan compiled with a cluster (or signature) override is not
+        what a plain scenario compile means: it must not be served from
+        the scenario index."""
+        store = PlanStore(tmp_path)
+        other_cluster = ClusterSpec.for_gpus("v100", 8)
+        overridden = compile(scenario, other_cluster, store=store)
+        assert overridden.cluster == other_cluster
+
+        plain = compile(scenario, store=store)
+        assert not plain.from_store
+        assert plain.cluster == scenario.build_cluster()
+        # and the pure compile does get indexed for next time
+        warm = compile(scenario, store=PlanStore(tmp_path))
+        assert warm.from_store
+        assert warm.cluster == scenario.build_cluster()
+
+    def test_fingerprint_path_also_warm(self, scenario, tmp_path, monkeypatch):
+        """Graph workloads (no scenario index) still hit via the
+        canonical (fingerprint, cluster, policy, signatures) key."""
+        store = PlanStore(tmp_path)
+        graph = scenario.build_graph()
+        cluster = scenario.build_cluster()
+        cold = compile(graph, cluster, store=store)
+
+        import repro.api.compiler as compile_mod
+
+        monkeypatch.setattr(
+            compile_mod,
+            "LancetOptimizer",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("planner ran")),
+        )
+        warm = compile(scenario.build_graph(), cluster, store=PlanStore(tmp_path))
+        assert warm.from_store
+        assert warm.predicted_iteration_ms == cold.predicted_iteration_ms
+
+
+class TestTrainerIntegration:
+    def test_trainer_accepts_plan(self, compiled):
+        from repro import Trainer
+
+        graph = compiled.scenario.build_graph()
+        direct = Trainer(graph, program=compiled.program, seed=0)
+        via_plan = Trainer(graph, program=compiled, seed=0)
+        a = direct.step().losses
+        b = via_plan.step().losses
+        assert a == b
+
+    def test_mismatched_plan_rejected(self, compiled, scenario):
+        """A plan compiled for a different graph (or cluster) must be
+        refused up front, not silently installed."""
+        from repro import Trainer
+        from repro.core import LancetOptimizer
+        from repro.train import ReoptimizingTrainer
+
+        other_graph = scenario.with_(batch=8).build_graph()
+        with pytest.raises(ValueError, match="different graph"):
+            Trainer(other_graph, program=compiled)
+        with pytest.raises(ValueError, match="different graph"):
+            ReoptimizingTrainer(
+                other_graph,
+                LancetOptimizer(scenario.build_cluster()),
+                plan=compiled,
+            )
+        with pytest.raises(ValueError, match="cluster"):
+            ReoptimizingTrainer(
+                scenario.build_graph(),
+                LancetOptimizer(ClusterSpec.for_gpus("v100", 8)),
+                plan=compiled,
+            )
+
+    def test_reoptimizing_trainer_starts_from_plan(self, compiled):
+        from repro.core import LancetOptimizer
+        from repro.train import ReoptimizingTrainer
+
+        graph = compiled.scenario.build_graph()
+        cluster = compiled.scenario.build_cluster()
+        tr = ReoptimizingTrainer(
+            graph,
+            LancetOptimizer(cluster),
+            plan=compiled,
+            drift_threshold=10.0,  # never re-plan in this test
+            seed=0,
+        )
+        assert tr.program is compiled.program
+        assert tr.predicted_ms == compiled.predicted_iteration_ms
+        assert tr.plan_signatures == (compiled.signatures or {})
+        tr.step()
+        assert tr.num_reoptimizations == 0
+
+    def test_corrupt_store_entry_degrades_to_replan(self, tmp_path):
+        """A shared-cache read failure must never abort training: the
+        trainer treats a corrupt entry as a miss and re-plans (which
+        also overwrites the bad entry)."""
+        from repro import GPT2MoEConfig, build_training_graph
+        from repro.core import LancetOptimizer
+        from repro.train import ReoptimizingTrainer
+
+        cluster = ClusterSpec.for_gpus("a100", 2)
+        store = PlanStore(tmp_path)
+        graph = build_training_graph(
+            GPT2MoEConfig.tiny(), batch=4, seq=8, num_gpus=2
+        )
+        a = ReoptimizingTrainer(
+            graph,
+            LancetOptimizer(cluster),
+            drift_threshold=0.0,
+            seed=0,
+            store=store,
+        )
+        a.run(2)
+        assert len(store) >= 1
+        for path in store.entries():
+            path.write_text("garbage, not a plan")
+
+        graph_b = build_training_graph(
+            GPT2MoEConfig.tiny(), batch=4, seq=8, num_gpus=2
+        )
+        b = ReoptimizingTrainer(
+            graph_b,
+            LancetOptimizer(cluster),
+            drift_threshold=0.0,
+            seed=0,
+            store=PlanStore(tmp_path),
+        )
+        b.run(2)  # must not raise
+        assert not any(e.store_hit for e in b.events)
+        assert a.loss_curve() == b.loss_curve()
+
+    def test_fleet_shares_plans_through_store(self, tmp_path):
+        """Trainer A re-plans and publishes; trainer B re-uses A's plan
+        from the store (store_hit) instead of running its own planner."""
+        from repro import GPT2MoEConfig, build_training_graph
+        from repro.core import LancetOptimizer
+        from repro.train import ReoptimizingTrainer
+
+        cluster = ClusterSpec.for_gpus("a100", 2)
+        store = PlanStore(tmp_path)
+
+        def make_trainer():
+            graph = build_training_graph(
+                GPT2MoEConfig.tiny(), batch=4, seq=8, num_gpus=2
+            )
+            return ReoptimizingTrainer(
+                graph,
+                LancetOptimizer(cluster),
+                drift_threshold=0.0,  # re-plan every step
+                seed=0,
+                store=store,
+            )
+
+        a = make_trainer()
+        a.run(2)
+        planned = [e for e in a.events if not e.cache_hit and not e.store_hit]
+        assert planned, "trainer A must have planned at least once"
+        assert len(store) >= 1
+
+        b = make_trainer()
+        b.run(2)
+        hits = [e for e in b.events if e.store_hit]
+        assert hits, "trainer B must reuse trainer A's published plans"
+        assert all(e.wall_seconds == 0.0 for e in hits)
+        # identical trajectory regardless of where the plan came from
+        assert a.loss_curve() == b.loss_curve()

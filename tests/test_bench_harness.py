@@ -68,6 +68,26 @@ class TestRunSetting:
         assert measurement.others_ms > 0
 
 
+class TestDefaultSeed:
+    def test_set_default_seed_changes_realization(self):
+        """run_setting with no explicit seed follows the session default
+        (the CLI's --seed); explicit seeds are unaffected."""
+        from repro.bench import set_default_seed
+
+        # lancet runs un-padded all-to-alls, so the realized routing
+        # (and therefore the seed) shows up in the simulated time
+        s = Setting("GPT2-S-MoE", "a100", 16, "lancet", batch=2, seq=64)
+        try:
+            base = run_setting(s)
+            assert run_setting(s, seed=1).iteration_ms == base.iteration_ms
+            set_default_seed(99)
+            shifted = run_setting(s)
+            assert shifted.iteration_ms != base.iteration_ms
+            assert run_setting(s, seed=1).iteration_ms == base.iteration_ms
+        finally:
+            set_default_seed(1)
+
+
 class TestMemoryEstimate:
     def test_deepspeed_needs_more(self, tiny_graph):
         ds = estimate_memory_gb(tiny_graph, "deepspeed")

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Cross-process plan round-trip check (CI `plan-roundtrip` job).
+
+Proves the plan-artifact contract end to end, across process
+boundaries:
+
+1. compile a scenario cold, save the plan, and simulate one iteration
+   in this process;
+2. spawn a **fresh Python process** that loads the saved plan and
+   simulates the same iteration; the two makespans must be
+   bit-identical (compared via ``float.hex``);
+3. validate the checked-in **golden plan** in ``benchmarks/baselines/``:
+   it must still load under the current schema, its fingerprint must
+   still match a fresh build of its scenario's graph, and it must still
+   simulate to the iteration time recorded inside it.
+
+The golden plan pins the serialization schema *and* the simulator: a
+change to either shows up here first.  After an intentional change,
+regenerate with ``--update-golden``.
+
+Usage:
+    PYTHONPATH=src python tools/check_plan_roundtrip.py
+    PYTHONPATH=src python tools/check_plan_roundtrip.py --update-golden
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "benchmarks" / "baselines" / "GOLDEN_plan_tiny-a100x8.json"
+SCENARIO = "tiny/a100x8"
+
+#: executed in a fresh interpreter: load plan, simulate, print the
+#: exact makespan (hex) and predicted time
+_CHILD = """
+import sys
+from repro.api import load_plan
+plan = load_plan(sys.argv[1])
+tl = plan.simulate()
+print(tl.makespan.hex())
+print(plan.predicted_iteration_ms.hex())
+print(len(plan.program))
+"""
+
+
+def fresh_process_simulate(plan_path: pathlib.Path) -> tuple[str, str, int]:
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(plan_path)],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=REPO,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(REPO / "src"),
+            # different hash seed than the parent: the round-trip must
+            # not depend on process-local hashing anywhere
+            "PYTHONHASHSEED": "12345",
+        },
+    )
+    makespan_hex, predicted_hex, n_instrs = out.stdout.strip().splitlines()
+    return makespan_hex, predicted_hex, int(n_instrs)
+
+
+def check_cross_process() -> list[str]:
+    from repro.api import PlanStore, Scenario, compile
+
+    failures = []
+    scenario = Scenario.preset(SCENARIO)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PlanStore(pathlib.Path(tmp) / "store")
+        plan = compile(scenario, store=store)
+        path = plan.save(pathlib.Path(tmp) / "plan.json")
+        local_makespan = plan.simulate().makespan
+
+        child_makespan, child_predicted, child_instrs = fresh_process_simulate(path)
+        print(f"  in-process simulated iteration:  {local_makespan!r} ms")
+        print(
+            f"  fresh-process simulated iteration: "
+            f"{float.fromhex(child_makespan)!r} ms"
+        )
+        if child_makespan != local_makespan.hex():
+            failures.append(
+                f"cross-process simulation mismatch: "
+                f"{local_makespan.hex()} vs {child_makespan}"
+            )
+        if child_predicted != plan.predicted_iteration_ms.hex():
+            failures.append("cross-process predicted_iteration_ms mismatch")
+        if child_instrs != len(plan.program):
+            failures.append("cross-process instruction count mismatch")
+
+        # and the warm path: a fresh store instance must return the plan
+        # without planning (the fleet story)
+        warm = compile(scenario, store=PlanStore(store.root))
+        if not warm.from_store:
+            failures.append("warm compile did not come from the store")
+        if warm.simulate().makespan.hex() != local_makespan.hex():
+            failures.append("warm store plan simulates differently")
+    return failures
+
+
+def write_golden() -> None:
+    from repro.api import Scenario, compile
+
+    plan = compile(Scenario.preset(SCENARIO))
+    plan.meta["golden"] = {
+        "scenario": SCENARIO,
+        "simulated_iteration_ms_hex": plan.simulate().makespan.hex(),
+        "note": (
+            "pins the plan schema and the simulator; regenerate with "
+            "tools/check_plan_roundtrip.py --update-golden"
+        ),
+    }
+    plan.save(GOLDEN)
+    print(f"wrote {GOLDEN}")
+
+
+def check_golden() -> list[str]:
+    from repro.api import Scenario, graph_fingerprint, load_plan
+
+    if not GOLDEN.exists():
+        return [f"golden plan missing: {GOLDEN} (run with --update-golden)"]
+    plan = load_plan(GOLDEN)
+    failures = []
+    expected = plan.meta.get("golden", {})
+    recorded = expected.get("simulated_iteration_ms_hex")
+    simulated = plan.simulate().makespan
+    print(f"  golden plan simulated iteration: {simulated!r} ms")
+    if recorded != simulated.hex():
+        failures.append(
+            f"golden plan simulation drifted: recorded "
+            f"{float.fromhex(recorded) if recorded else None!r}, "
+            f"got {simulated!r}"
+        )
+    fresh = graph_fingerprint(Scenario.preset(SCENARIO).build_graph())
+    if plan.fingerprint != fresh:
+        failures.append(
+            "golden plan fingerprint no longer matches a fresh graph build "
+            f"({plan.fingerprint[:23]}... vs {fresh[:23]}...)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the checked-in golden plan",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    if args.update_golden:
+        write_golden()
+        return 0
+
+    failures = []
+    print("cross-process round-trip:")
+    failures += check_cross_process()
+    print("golden plan:")
+    failures += check_golden()
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nplan round-trip OK (bit-identical across processes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
