@@ -28,7 +28,7 @@ from ...runtime import (
     SyntheticRoutingModel,
     UniformRoutingModel,
     device_byte_loads,
-    simulate_cluster,
+    simulate_cluster_batch,
 )
 from ..formatting import format_table
 from ..harness import model_by_name, paper_batch
@@ -90,16 +90,23 @@ def run(
     rows = []
     for fw_name in frameworks:
         prepared = make_framework(fw_name).prepare(graph, cluster)
-        for scen in scenarios:
-            overrides = all_scenarios[scen]
-            sim = SimulationConfig(
-                cluster=cluster,
-                framework=prepared.profile,
-                padded_a2a=prepared.padded_a2a,
-                **overrides,
+        # one framework = one program under several scenarios: simulate
+        # the whole scenario family in a single vectorized batch
+        batch_costs = [
+            GroundTruthCost(
+                SimulationConfig(
+                    cluster=cluster,
+                    framework=prepared.profile,
+                    padded_a2a=prepared.padded_a2a,
+                    **all_scenarios[scen],
+                )
             )
-            cost = GroundTruthCost(sim)
-            ctl = simulate_cluster(prepared.program, cost=cost)
+            for scen in scenarios
+        ]
+        result = simulate_cluster_batch(prepared.program, costs=batch_costs)
+        for b, scen in enumerate(scenarios):
+            cost = batch_costs[b]
+            ctl = result.timeline(b)
             bd = ctl.breakdown()  # critical device
             rows.append(
                 {

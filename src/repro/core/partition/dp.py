@@ -26,6 +26,11 @@ implementation (:mod:`.dp_reference`), but
 * the k=1 relaxation is evaluated vectorized over candidate ``i`` with
   numpy (candidates past the window's last all-to-all group reduce to a
   single ``argmin``);
+* candidate pricing is hoisted out of the recurrence (``P(i, n, k)`` is
+  a pure range property, independent of the DP tables), and every
+  pipeline simulation the caches miss runs in one lockstep numpy batch
+  (:func:`repro.runtime.batch.simulate_lanes`) instead of one Python
+  recurrence per candidate;
 * everything that does not depend on the routing signature -- grouping,
   axis inference, feasible-k limits, stage decompositions, compute chunk
   durations, boundary overheads -- persists across re-plans in a
@@ -47,7 +52,7 @@ from ...ir import InstrKind, Program
 from ..cache import LRUCache
 from ..cost_model import CostEstimator
 from .axis_inference import InferenceResult, infer_axes
-from .pipeline import PlanCaches, RangeContext
+from .pipeline import PendingCost, PlanCaches, RangeContext, resolve_pending
 
 
 @dataclass(frozen=True)
@@ -493,6 +498,46 @@ def plan_partitions(
 
     sims_before = caches.sim.misses
 
+    # -- phase A: enumerate every pipeline candidate P(i, n, k) in DP
+    # order and price it through the caches.  Candidate costs do not
+    # depend on the DP tables (P is a pure range property), so pricing
+    # can be hoisted out of the recurrence wholesale; sim-cache misses
+    # stay unevaluated for the batch.  Every candidate's (i_pos, n_pos,
+    # k) is distinct, so deferring the puts cannot turn a would-be hit
+    # into a miss within this plan.
+    pending: dict[tuple[int, int, int], PendingCost] = {}
+    missing: list[PendingCost] = []
+    for n in range(1, ng + 1):
+        lo = n - max_range
+        if lo < 0:
+            lo = 0
+        gl = int(last_a2a[n])
+        pipe_end = gl + 1 if gl >= lo else lo
+        if pipe_end <= lo:
+            continue
+        n_pos = groups[n - 1].end
+        for i in range(lo, pipe_end):
+            i_pos = groups[i].start
+            ctx = state.context(program, i_pos, n_pos)
+            if ctx is None:
+                continue
+            view = consumers.view(i_pos, n_pos)
+            for k in k_candidates:
+                if k > ctx.k_limit:
+                    continue
+                result.num_cost_evals += 1
+                pend = ctx.begin_cost(k, costs, view, caches)
+                pending[(i, n, k)] = pend
+                if pend.pipeline_ms is None:
+                    missing.append(pend)
+
+    # -- phase B: one lockstep batch over all owed simulations (the
+    # scalar loop would have run one Python recurrence per miss)
+    resolve_pending(missing, caches)
+
+    # -- phase C: the DP recurrence itself, over precomputed candidate
+    # costs; update order -- and therefore every strict-< tie -- is
+    # exactly the fused loop's
     for n in range(1, ng + 1):
         lo = n - max_range
         if lo < 0:
@@ -514,21 +559,17 @@ def plan_partitions(
                     T[n] = c
                     parent[n] = (i, 1, None)
                 i_pos = groups[i].start
-                ctx = state.context(program, i_pos, n_pos)
-                if ctx is None:
-                    continue
-                view = consumers.view(i_pos, n_pos)
                 for k in k_candidates:
-                    if k > ctx.k_limit:
+                    pend = pending.get((i, n, k))
+                    if pend is None:
                         continue
-                    result.num_cost_evals += 1
-                    cost = ctx.cost(k, costs, view, caches)
+                    cost = pend.cost()
                     if T[i] + cost.total_ms < T[n]:
                         plan = RangePlan(
                             start=i_pos,
                             end=n_pos,
                             parts=k,
-                            axes=ctx.axes,
+                            axes=pend.ctx.axes,
                             predicted_ms=cost.total_ms,
                             sequential_ms=float(
                                 seq_prefix[n] - seq_prefix[i]

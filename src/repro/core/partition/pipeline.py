@@ -32,9 +32,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ...ir import AXIS_IRREGULAR as IRR
 from ...ir import NOT_PARTITIONED as NP
 from ...ir import Dim, Instruction, Program, TensorType
+from ...runtime.batch import pack_lane, simulate_lanes
 from ..cache import LRUCache
 from ..cost_model import CostEstimator
 from .axis_inference import InferenceResult
@@ -186,12 +189,25 @@ class PlanCaches:
             DEFAULT_SIM_CACHE_SIZE, name="planner-pipe-sim"
         )
     )
+    #: batch evaluations of sim-cache misses (one per
+    #: :func:`resolve_pending` call) and the lanes they carried;
+    #: ``batch_lockstep_lanes`` counts the subset priced through the
+    #: vectorized engine (the rest ran the scalar recurrence -- see the
+    #: width cutover in :func:`resolve_pending`)
+    batch_calls: int = 0
+    batch_lanes: int = 0
+    batch_lockstep_lanes: int = 0
 
     def stats(self) -> dict:
         return {
             "chunk": self.chunk.stats(),
             "overhead": self.overhead.stats(),
             "sim": self.sim.stats(),
+            "batch": {
+                "calls": self.batch_calls,
+                "lanes": self.batch_lanes,
+                "lockstep_lanes": self.batch_lockstep_lanes,
+            },
         }
 
 
@@ -221,6 +237,7 @@ class RangeContext:
         "exit_pairs",
         "k_limit",
         "_dur_templates",
+        "_lane_packs",
     )
 
     def __init__(
@@ -299,6 +316,8 @@ class RangeContext:
         # parts -> duration list with all-to-all slots left as None (the
         # only signature-dependent entries); filled per evaluation
         self._dur_templates: dict[int, list] = {}
+        # parts -> packed event stream for the lockstep batch engine
+        self._lane_packs: dict[int, object] = {}
 
     # -- the three cost components ----------------------------------------
 
@@ -413,6 +432,58 @@ class RangeContext:
                         end[i * parts + p] = comp_free
         return max(end)
 
+    def lane_pack(self, parts: int):
+        """The duration-independent packed event stream of this range at
+        ``parts``-way splitting, for :func:`~repro.runtime.batch
+        .simulate_lanes` -- cached, like the stage decomposition."""
+        pack = self._lane_packs.get(parts)
+        if pack is None:
+            pack = pack_lane(self.stages, self.deps, parts, len(self.instrs))
+            self._lane_packs[parts] = pack
+        return pack
+
+    def begin_cost(
+        self,
+        parts: int,
+        costs: CostEstimator,
+        consumers_after,
+        caches: PlanCaches,
+    ) -> "PendingCost":
+        """Price a candidate through the caches, deferring any missing
+        pipeline simulation.
+
+        Touches the chunk / sim / overhead caches in exactly the order
+        :meth:`cost` does, so counters and contents stay comparable; the
+        only difference is that a sim-cache miss leaves
+        ``pipeline_ms = None`` for :func:`resolve_pending` to fill with
+        one lockstep batch instead of one scalar recurrence per miss.
+        """
+        durs = self.chunk_durations(parts, costs, caches)
+        sim_key = (
+            self.start,
+            self.end,
+            parts,
+            tuple(durs[i] for i in self.a2a_idx),
+        )
+        pipeline_ms = caches.sim.get(sim_key)
+        overhead = 0.0
+        if consumers_after is not None:
+            oh_key = (self.start, self.end, parts)
+            overhead = caches.overhead.get(oh_key)
+            if overhead is None:
+                overhead = self.boundary_overhead_ms(
+                    parts, costs, consumers_after
+                )
+                caches.overhead.put(oh_key, overhead)
+        return PendingCost(
+            ctx=self,
+            parts=parts,
+            durs=durs,
+            sim_key=sim_key,
+            pipeline_ms=pipeline_ms,
+            overhead_ms=overhead,
+        )
+
     def cost(
         self,
         parts: int,
@@ -459,6 +530,71 @@ class RangeContext:
             overhead_ms=overhead,
             num_stages=len(self.stages),
         )
+
+
+@dataclass
+class PendingCost:
+    """One DP candidate priced through the caches, with its pipeline
+    simulation possibly still owed (``pipeline_ms is None`` until
+    :func:`resolve_pending` batch-evaluates the misses)."""
+
+    ctx: RangeContext
+    parts: int
+    durs: list[float]
+    sim_key: tuple
+    pipeline_ms: float | None
+    overhead_ms: float
+
+    def cost(self) -> PipelineCost:
+        return PipelineCost(
+            total_ms=self.pipeline_ms + self.overhead_ms,
+            pipeline_ms=self.pipeline_ms,
+            overhead_ms=self.overhead_ms,
+            num_stages=len(self.ctx.stages),
+        )
+
+
+#: Mean lockstep width (total events / longest lane) above which the
+#: vectorized engine beats the scalar recurrence.  Each lockstep step
+#: costs a fixed handful of numpy calls (~50us) no matter how many lanes
+#: it advances, while CPython runs a scalar event in ~150ns -- so the
+#: measured crossover sits near 350-500 events per step.  The DP's
+#: candidate batches average ~80-300 (many short lanes behind a few long
+#: ones) and stay scalar; wide scenario-style batches vectorize.
+LOCKSTEP_MIN_MEAN_WIDTH = 512
+
+
+def resolve_pending(missing: list[PendingCost], caches: PlanCaches) -> None:
+    """Evaluate every owed pipeline simulation in one batch.
+
+    Picks the engine by batch shape: wide batches (mean events per
+    lockstep step >= :data:`LOCKSTEP_MIN_MEAN_WIDTH`) run the vectorized
+    :func:`~repro.runtime.batch.simulate_lanes`; narrow ones run the
+    scalar recurrence lane by lane.  Both execute the exact float64
+    operation chain of ``missing[l].ctx.simulate_ms(durs, parts)``, so
+    cached values are bit-identical either way.  Results are ``put`` in
+    list order -- the order the scalar loop would have filled the cache.
+    """
+    if not missing:
+        return
+    caches.batch_calls += 1
+    caches.batch_lanes += len(missing)
+    # event count per lane is parts * len(instrs); packs are only built
+    # (and cached on the contexts) when the lockstep engine is taken
+    events = [p.parts * len(p.ctx.instrs) for p in missing]
+    t_max = max(events)
+    if t_max and sum(events) >= LOCKSTEP_MIN_MEAN_WIDTH * t_max:
+        caches.batch_lockstep_lanes += len(missing)
+        packs = [p.ctx.lane_pack(p.parts) for p in missing]
+        durs = [np.asarray(p.durs, dtype=np.float64) for p in missing]
+        results = simulate_lanes(packs, durs)
+        for pend, ms in zip(missing, results):
+            pend.pipeline_ms = float(ms)
+            caches.sim.put(pend.sim_key, pend.pipeline_ms)
+        return
+    for pend in missing:
+        pend.pipeline_ms = pend.ctx.simulate_ms(pend.durs, pend.parts)
+        caches.sim.put(pend.sim_key, pend.pipeline_ms)
 
 
 def pipeline_cost_ms(

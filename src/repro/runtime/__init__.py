@@ -24,6 +24,15 @@ from .device import (
     FrameworkProfile,
     GPUSpec,
 )
+from .batch import (
+    BatchClusterResult,
+    LanePack,
+    ScenarioPack,
+    pack_lane,
+    pack_scenarios,
+    simulate_lanes,
+    simulate_scenarios,
+)
 from .executor import DeviceEnv, NumericExecutor, run_program
 from .routing_model import (
     RoutingSignature,
@@ -37,6 +46,7 @@ from .simulate import (
     iteration_time_ms,
     observed_routing_signatures,
     simulate_cluster,
+    simulate_cluster_batch,
     simulate_program,
 )
 from .topology import HierarchicalTiming, HierarchicalTraffic, Topology
@@ -58,6 +68,7 @@ from .visualize import (
 
 __all__ = [
     "A100",
+    "BatchClusterResult",
     "Breakdown",
     "COMPILED",
     "ClusterSpec",
@@ -72,8 +83,10 @@ __all__ = [
     "HierarchicalTiming",
     "HierarchicalTraffic",
     "Interval",
+    "LanePack",
     "NumericExecutor",
     "RoutingSignature",
+    "ScenarioPack",
     "SimulationConfig",
     "SyntheticRoutingModel",
     "TUTEL",
@@ -92,10 +105,15 @@ __all__ = [
     "merge_intervals",
     "observed_routing_signatures",
     "overlap_summary",
+    "pack_lane",
+    "pack_scenarios",
     "render_cluster_timeline",
     "render_timeline",
     "run_program",
     "simulate_cluster",
+    "simulate_cluster_batch",
+    "simulate_lanes",
     "simulate_program",
+    "simulate_scenarios",
     "total_length",
 ]

@@ -21,6 +21,12 @@ Two simulation modes share the cost model:
   participants, and per-device straggler slowdowns stretch compute.
   With uniform routing and no stragglers this degenerates to ``G``
   copies of the representative timeline, bit-for-bit.
+- :func:`simulate_cluster_batch` -- ``B`` routing / straggler scenarios
+  of one program evaluated in a single vectorized pass
+  (:mod:`~repro.runtime.batch`), bit-identical to running
+  :func:`simulate_cluster` once per scenario.  The scalar loop is the
+  retained reference; the batch path is what the planner sweeps and the
+  figure benchmarks lean on.
 """
 
 from __future__ import annotations
@@ -398,6 +404,36 @@ def simulate_cluster(
                 )
 
     return ClusterTimeline([Timeline(ivs) for ivs in intervals])
+
+
+def simulate_cluster_batch(
+    program: Program,
+    configs: Sequence[SimulationConfig] | None = None,
+    costs: Sequence[GroundTruthCost] | None = None,
+):
+    """Simulate ``B`` scenarios of one program in one vectorized pass.
+
+    Each entry of ``configs`` (or pre-built ``costs``) is one candidate
+    scenario -- a routing realization, straggler pattern, framework or
+    protocol variant -- against the *same* instruction stream.  All
+    scenarios must share the device count.  Returns a
+    :class:`~repro.runtime.batch.BatchClusterResult` whose per-scenario
+    timelines are bit-identical to calling :func:`simulate_cluster` once
+    per scenario; makespans come straight from the packed arrays, and
+    full :class:`~repro.runtime.timeline.ClusterTimeline` objects are
+    materialized only on request.
+
+    Vectorizing is safe for bit-identity because every scalar update is
+    a float64 ``max`` or a single add -- operations numpy reproduces
+    elementwise exactly; no sum is ever reassociated.
+    """
+    from .batch import pack_scenarios, simulate_scenarios
+
+    if costs is None:
+        if configs is None:
+            raise ValueError("need configs or costs")
+        costs = [GroundTruthCost(c) for c in configs]
+    return simulate_scenarios(pack_scenarios(program, list(costs)))
 
 
 def iteration_time_ms(

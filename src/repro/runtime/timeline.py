@@ -4,10 +4,20 @@ The simulator produces an interval per instruction; this module reduces
 those to the quantities the paper reports: makespan (iteration time) and
 the Fig. 13 decomposition into *non-overlapped communication*, *overlap*,
 and *non-overlapped computation*.
+
+Every multi-term reduction here goes through :func:`math.fsum`, which is
+exactly rounded and therefore independent of accumulation order.  That
+makes the reductions agree bit-for-bit no matter which simulator
+produced the intervals (scalar :func:`~repro.runtime.simulate
+.simulate_cluster` or the vectorized batch path) or in which order a
+caller enumerates them -- naive left-to-right ``+=`` would tie the
+result to one enumeration order and force differential tests down to
+approximate equality.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,8 +56,8 @@ def merge_intervals(spans: list[tuple[float, float]]) -> list[tuple[float, float
 
 
 def total_length(spans: list[tuple[float, float]]) -> float:
-    """Total covered length of (already merged) spans."""
-    return sum(e - s for s, e in spans)
+    """Total covered length of (already merged) spans (exactly rounded)."""
+    return math.fsum(e - s for s, e in spans)
 
 
 def intersect_length(
@@ -55,17 +65,17 @@ def intersect_length(
 ) -> float:
     """Total length of the intersection of two merged span lists."""
     i = j = 0
-    out = 0.0
+    overlaps: list[float] = []
     while i < len(a) and j < len(b):
         s = max(a[i][0], b[j][0])
         e = min(a[i][1], b[j][1])
         if e > s:
-            out += e - s
+            overlaps.append(e - s)
         if a[i][1] < b[j][1]:
             i += 1
         else:
             j += 1
-    return out
+    return math.fsum(overlaps)
 
 
 @dataclass(frozen=True)
@@ -133,21 +143,19 @@ class Timeline:
 
     def per_op_totals(self) -> dict[str, float]:
         """Total busy time per op name (double-counts nothing: durations)."""
-        out: dict[str, float] = {}
+        groups: dict[str, list[float]] = {}
         for iv in self.intervals:
-            out[iv.op] = out.get(iv.op, 0.0) + iv.duration
-        return out
+            groups.setdefault(iv.op, []).append(iv.duration)
+        return {op: math.fsum(durs) for op, durs in groups.items()}
 
     def total_time_of(self, ops: set[str] | None = None, kind: str | None = None) -> float:
         """Sum of durations, filtered by op names and/or kind."""
-        out = 0.0
-        for iv in self.intervals:
-            if ops is not None and iv.op not in ops:
-                continue
-            if kind is not None and iv.kind != kind:
-                continue
-            out += iv.duration
-        return out
+        return math.fsum(
+            iv.duration
+            for iv in self.intervals
+            if (ops is None or iv.op in ops)
+            and (kind is None or iv.kind == kind)
+        )
 
     def exposed_time_of(self, ops: set[str]) -> float:
         """Time the given ops spend with the *other* stream idle.

@@ -1,0 +1,289 @@
+"""Differential testing of the vectorized batch simulation core.
+
+The contract under test (ISSUE 6): for any program, cluster and scenario
+set, :func:`simulate_cluster_batch` is **bit-identical** to running the
+scalar :func:`simulate_cluster` once per scenario -- interval for
+interval, including ``a2a_algo`` annotations, straggler and hot-expert
+knobs -- and the DP's lockstep lane engine is bit-identical to
+``RangeContext.simulate_ms`` candidate for candidate.  Bit-identity (not
+approx-equality) is what lets the planner and the figure suite swap
+freely between the scalar reference and the batch path.
+
+Scenario generators and hypothesis strategies live in
+:mod:`repro.testing`, shared with ``test_fast_replan`` and
+``test_hierarchical_a2a``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LancetOptimizer, PlannerState, plan_partitions
+from repro.core.partition.dp import _INFEASIBLE
+from repro.runtime import (
+    ClusterSpec,
+    GroundTruthCost,
+    SimulationConfig,
+    SyntheticRoutingModel,
+    UniformRoutingModel,
+    simulate_cluster,
+    simulate_cluster_batch,
+    simulate_lanes,
+    simulate_program,
+)
+from repro.testing import (
+    PROGRAM_GRID,
+    build_grid_graph,
+    cluster_grid,
+    routing_models,
+    st_simulation_scenario,
+    straggler_scenarios,
+)
+
+
+def assert_bit_identical(batch_tl, scalar_tl):
+    """Interval-for-interval equality of two cluster timelines."""
+    assert batch_tl.num_devices == scalar_tl.num_devices
+    for d, (a, b) in enumerate(zip(batch_tl.devices, scalar_tl.devices)):
+        assert a.intervals == b.intervals, f"device {d} diverged"
+
+
+def run_both(program, configs):
+    """(batch result, scalar timelines) for one scenario set."""
+    costs = [GroundTruthCost(c) for c in configs]
+    scalar = [simulate_cluster(program, cost=GroundTruthCost(c)) for c in configs]
+    return simulate_cluster_batch(program, costs=costs), scalar
+
+
+class TestScenarioBatchDifferential:
+    def test_small_grid_row_all_knobs(self):
+        """Tier-1 smoke: smallest grid program, every scenario knob."""
+        layers, gpus, batch, seq, gate = PROGRAM_GRID[0]
+        program = build_grid_graph(layers, gpus, batch, seq, gate).program
+        cluster = ClusterSpec.for_gpus("a100", gpus)
+        configs = []
+        for i, routing in enumerate(routing_models()):
+            for straggler in straggler_scenarios(gpus):
+                configs.append(
+                    SimulationConfig(
+                        cluster,
+                        padded_a2a=(i % 2 == 0),
+                        block_sparse_experts=(i % 2 == 1),
+                        routing=routing,
+                        straggler_slowdown=straggler,
+                    )
+                )
+        result, scalar = run_both(program, configs)
+        assert result.num_candidates == len(configs)
+        for b, ref in enumerate(scalar):
+            assert result.makespan(b) == ref.makespan
+            assert_bit_identical(result.timeline(b), ref)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("layers,gpus,batch,seq,gate", PROGRAM_GRID[1:])
+    def test_remaining_grid_rows(self, layers, gpus, batch, seq, gate):
+        """Full grid x clusters x drift sequence (the heavy sweep)."""
+        program = build_grid_graph(layers, gpus, batch, seq, gate).program
+        for cluster in cluster_grid(gpus):
+            configs = [
+                SimulationConfig(
+                    cluster,
+                    padded_a2a=False,
+                    routing=routing,
+                    straggler_slowdown=straggler,
+                )
+                for routing in routing_models()
+                for straggler in straggler_scenarios(gpus)
+            ]
+            result, scalar = run_both(program, configs)
+            for b, ref in enumerate(scalar):
+                assert_bit_identical(result.timeline(b), ref)
+
+    def test_optimized_program_with_a2a_algo_annotations(self):
+        """A hierarchical-enabled plan pins ``a2a_algo`` attrs; the batch
+        path must price them exactly like the scalar simulator."""
+        cluster = ClusterSpec.p3dn(2)
+        graph = build_grid_graph(2, 16, 8, 256)
+        opt = LancetOptimizer(cluster, enable_hierarchical_a2a=True)
+        routing = SyntheticRoutingModel(
+            seed=1, concentration=0.3, hot_experts=1, hot_boost=0.7
+        )
+        opt.observe_routing(graph, routing)
+        program, report = opt.optimize(graph)
+        assert report.hierarchical_a2a_count > 0  # annotations present
+        configs = [
+            SimulationConfig(cluster, padded_a2a=False, routing=r)
+            for r in routing_models()
+        ]
+        result, scalar = run_both(program, configs)
+        for b, ref in enumerate(scalar):
+            assert_bit_identical(result.timeline(b), ref)
+
+    def test_batch_of_one_equals_simulate_program_uniform(self):
+        """Extends the PR 1 invariant to the batch path: under uniform
+        routing and no stragglers, every device of the batch-of-1 result
+        is bit-for-bit the representative-device timeline."""
+        layers, gpus, batch, seq, gate = PROGRAM_GRID[0]
+        program = build_grid_graph(layers, gpus, batch, seq, gate).program
+        cluster = ClusterSpec.for_gpus("a100", gpus)
+        for padded in (True, False):
+            cfg = SimulationConfig(
+                cluster, padded_a2a=padded, routing=UniformRoutingModel()
+            )
+            rep = simulate_program(program, config=cfg)
+            result = simulate_cluster_batch(program, configs=[cfg])
+            assert result.num_candidates == 1
+            assert result.makespan(0) == rep.makespan
+            for device_tl in result.timeline(0).devices:
+                assert device_tl.intervals == rep.intervals
+
+    def test_order_invariant_under_candidate_permutation(self):
+        """Scenario b's result depends only on scenario b: permuting the
+        batch permutes the outputs bit-for-bit."""
+        layers, gpus, batch, seq, gate = PROGRAM_GRID[0]
+        program = build_grid_graph(layers, gpus, batch, seq, gate).program
+        cluster = ClusterSpec.for_gpus("a100", gpus)
+        configs = [
+            SimulationConfig(
+                cluster,
+                padded_a2a=False,
+                routing=SyntheticRoutingModel(
+                    seed=s, concentration=0.5, hot_experts=1, hot_boost=0.6
+                ),
+                straggler_slowdown=({0: 1.5} if s % 2 else None),
+            )
+            for s in range(6)
+        ]
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(configs))
+        fwd = simulate_cluster_batch(program, configs=configs)
+        shuf = simulate_cluster_batch(
+            program, configs=[configs[p] for p in perm]
+        )
+        assert np.array_equal(fwd.makespans[perm], shuf.makespans)
+        assert np.array_equal(fwd.starts[:, perm, :], shuf.starts)
+        assert np.array_equal(fwd.ends[:, perm, :], shuf.ends)
+
+    def test_mixed_device_counts_rejected(self):
+        program = build_grid_graph(*PROGRAM_GRID[0]).program
+        configs = [
+            SimulationConfig(ClusterSpec.for_gpus("a100", 4)),
+            SimulationConfig(ClusterSpec.for_gpus("a100", 8)),
+        ]
+        with pytest.raises(ValueError, match="device count"):
+            simulate_cluster_batch(program, configs=configs)
+
+    def test_empty_batch_rejected(self):
+        program = build_grid_graph(*PROGRAM_GRID[0]).program
+        with pytest.raises(ValueError):
+            simulate_cluster_batch(program, configs=[])
+
+    @pytest.mark.slow
+    @given(
+        scenarios=st.lists(st_simulation_scenario(4), min_size=1, max_size=4)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_scenarios_bit_identical(self, scenarios):
+        """Hypothesis sweep: ANY mix of routing models, stragglers and
+        protocol flags must agree with the scalar reference exactly."""
+        program = build_grid_graph(*PROGRAM_GRID[0]).program
+        cluster = ClusterSpec.for_gpus("a100", 4)
+        configs = [SimulationConfig(cluster, **kw) for kw in scenarios]
+        result, scalar = run_both(program, configs)
+        for b, ref in enumerate(scalar):
+            assert result.makespan(b) == ref.makespan
+            assert_bit_identical(result.timeline(b), ref)
+
+
+class TestTimelineReductionStability:
+    def test_reductions_are_enumeration_order_invariant(self):
+        """fsum-based reductions must not depend on interval order, so
+        scalar- and batch-materialized timelines always reduce alike."""
+        program = build_grid_graph(*PROGRAM_GRID[0]).program
+        cfg = SimulationConfig(
+            ClusterSpec.for_gpus("a100", 4),
+            padded_a2a=False,
+            routing=SyntheticRoutingModel(
+                seed=3, concentration=0.5, hot_experts=1, hot_boost=0.7
+            ),
+        )
+        tl = simulate_cluster(program, config=cfg).devices[0]
+        rng = np.random.default_rng(1)
+        perm = list(rng.permutation(len(tl.intervals)))
+        shuffled = type(tl)([tl.intervals[p] for p in perm])
+        assert shuffled.total_time_of() == tl.total_time_of()
+        assert shuffled.per_op_totals() == tl.per_op_totals()
+        assert (
+            shuffled.total_time_of({"all_to_all"})
+            == tl.total_time_of({"all_to_all"})
+        )
+
+
+class TestLaneEngineDifferential:
+    def test_lanes_match_scalar_recurrence_on_real_contexts(self):
+        """Harvest every RangeContext a real plan builds and replay each
+        (context, parts) candidate with randomized duration vectors: the
+        lockstep batch must reproduce ``simulate_ms`` bit-for-bit."""
+        cluster = ClusterSpec.for_gpus("a100", 8)
+        graph = build_grid_graph(3, 8, 8, 128)
+        opt = LancetOptimizer(cluster)
+        state = opt.planner_state
+        plan_partitions(graph.program, opt.costs, state=state)
+        contexts = [
+            ctx
+            for ctx in state.contexts._data.values()
+            if ctx is not _INFEASIBLE and ctx is not None
+        ]
+        assert contexts, "plan built no feasible range contexts"
+        rng = np.random.default_rng(5)
+        lanes, durs, expect = [], [], []
+        for ctx in contexts:
+            for parts in (2, 4, 8):
+                if parts > ctx.k_limit:
+                    continue
+                d = rng.uniform(0.01, 2.0, size=len(ctx.instrs))
+                lanes.append(ctx.lane_pack(parts))
+                durs.append(d)
+                expect.append(ctx.simulate_ms(list(d), parts))
+        got = simulate_lanes(lanes, durs)
+        assert got.shape == (len(expect),)
+        assert [float(x) for x in got] == expect
+
+    def test_planner_reports_batch_counters(self):
+        """LancetReport.cache_stats carries the batch-hit counters, and a
+        plan actually routes its sim misses through the batch."""
+        graph = build_grid_graph(2, 4, 4, 64)
+        cluster = ClusterSpec.for_gpus("a100", 4)
+        opt = LancetOptimizer(cluster)
+        _, report = opt.optimize(graph)
+        stats = report.cache_stats
+        assert stats["planner_batch"]["calls"] >= 1
+        assert (
+            stats["planner_batch"]["lanes"]
+            == stats["planner_sim"]["misses"]
+        )
+
+    def test_warm_drift_replan_still_batches(self):
+        """After routing drift, the re-priced candidates go through the
+        lane batch too (the warm path the throughput target cares about)."""
+        graph = build_grid_graph(2, 4, 4, 64)
+        cluster = ClusterSpec.for_gpus("a100", 4)
+        opt = LancetOptimizer(cluster)
+        opt.optimize(graph)
+        state = opt.planner_state
+        calls_before = state.caches.batch_calls
+        lanes_before = state.caches.batch_lanes
+        opt.observe_routing(
+            graph,
+            SyntheticRoutingModel(
+                seed=11, concentration=0.5, hot_experts=1, hot_boost=0.6
+            ),
+        )
+        result = plan_partitions(graph.program, opt.costs, state=state)
+        assert result.warm_start and result.num_pipeline_sims > 0
+        assert state.caches.batch_calls == calls_before + 1
+        assert (
+            state.caches.batch_lanes - lanes_before
+            == result.num_pipeline_sims
+        )

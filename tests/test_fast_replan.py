@@ -30,8 +30,9 @@ from repro.core import (
     plan_partitions_reference,
 )
 from repro.core.partition import ConsumerIndex, forward_length
-from repro.runtime import COMPILED, ClusterSpec, UniformRoutingModel
+from repro.runtime import COMPILED, ClusterSpec
 from repro.runtime.routing_model import SyntheticRoutingModel
+from repro.testing import PROGRAM_GRID, build_grid_graph, routing_models
 from repro.train import ReoptimizingTrainer
 
 
@@ -57,33 +58,16 @@ def assert_identical(fast, ref):
     assert fast.num_cost_evals == ref.num_cost_evals
 
 
-#: randomized-ish program grid: layer count, gpus, batch, seq, gate
-PROGRAM_GRID = [
-    (2, 4, 4, 64, "switch"),
-    (3, 8, 8, 128, "switch"),
-    (4, 8, 8, 128, "bpr"),
-]
-
-#: routing realizations to re-plan against (None = uniform approximation)
-ROUTINGS = [
-    None,
-    UniformRoutingModel(),
-    SyntheticRoutingModel(seed=1, concentration=0.5, hot_experts=1, hot_boost=0.7),
-    SyntheticRoutingModel(seed=2, concentration=1.0, hot_experts=2, hot_boost=0.5),
-    SyntheticRoutingModel(seed=3, concentration=16.0),
-]
+#: routing realizations to re-plan against (None = uniform approximation);
+#: shared with the batch-simulation differential harness
+ROUTINGS = routing_models(include_none=True)
 
 
 class TestEquivalence:
     @pytest.mark.parametrize("layers,gpus,batch,seq,gate", PROGRAM_GRID)
     def test_cold_plans_bit_identical(self, layers, gpus, batch, seq, gate):
         cluster = ClusterSpec.for_gpus("a100", gpus)
-        graph = build_training_graph(
-            GPT2MoEConfig.gpt2_s_moe(num_layers=layers, gate=gate),
-            batch=batch,
-            seq=seq,
-            num_gpus=gpus,
-        )
+        graph = build_grid_graph(layers, gpus, batch, seq, gate)
         fast = plan_partitions(graph.program, fresh_costs(cluster))
         ref = plan_partitions_reference(graph.program, fresh_costs(cluster))
         assert_identical(fast, ref)

@@ -25,6 +25,7 @@ class TestRegistry:
             "headline",
             "imbalance",
             "opt_time",
+            "sim_throughput",
             "skew_sweep",
             "topology",
         }
@@ -134,6 +135,18 @@ class TestImbalance:
         assert by["mild"]["iteration_ms"] > by["uniform"]["iteration_ms"]
         assert by["mild"]["a2a_spread_ms"] > by["uniform"]["a2a_spread_ms"]
         assert by["hot"]["a2a_spread_ms"] > by["mild"]["a2a_spread_ms"]
+
+
+class TestSimThroughput:
+    def test_tiny_batch(self):
+        from repro.bench.figures import sim_throughput
+
+        r = sim_throughput.run(num_layers=4, num_scenarios=4, rounds=1)
+        assert r.notes["bit_identical"] is True
+        assert r.notes["makespans_equal"] is True
+        (row,) = r.rows
+        assert row["scenarios"] == 4
+        assert row["batch_sims_per_s"] > 0
 
 
 class TestTopologySweep:

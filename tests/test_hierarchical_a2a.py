@@ -16,11 +16,8 @@ The load-bearing invariants:
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import CommCostModel, LancetOptimizer
-from repro.moe import dispatch, route_switch
-from repro.moe.layer import softmax
 from repro.runtime import (
     ClusterSpec,
     RoutingSignature,
@@ -28,26 +25,11 @@ from repro.runtime import (
     all_to_all_irregular,
     hierarchical_all_to_all,
 )
-
-
-def routed_buffers(rng, g, el, c, h, t, temperature=1.0):
-    """Per-device dispatch buffers with realistic routing + their counts."""
-    e = g * el
-    bufs, counts = [], np.zeros((g, e), dtype=np.int64)
-    for d in range(g):
-        probs = softmax(rng.standard_normal((t, e)) * temperature)
-        info, _ = route_switch(probs, capacity=c)
-        bufs.append(dispatch(rng.standard_normal((t, h)), info))
-        counts[d] = info.expert_counts()
-    return bufs, counts
-
-
-def random_pair_bytes(rng, g, skew=1.0):
-    """A positive pair-bytes matrix with a controllable hot column."""
-    pair = np.abs(rng.standard_normal((g, g))) * 1e6
-    hot = int(rng.integers(g))
-    pair[:, hot] *= skew
-    return pair
+from repro.testing import (
+    random_pair_bytes,
+    routed_buffers,
+    st_exchange_params,
+)
 
 
 class TestBitIdentity:
@@ -84,25 +66,21 @@ class TestBitIdentity:
         assert np.allclose(ref.inter_node, traffic.inter_node)
         assert np.allclose(ref.intra_scatter, traffic.intra_scatter)
 
-    @given(
-        seed=st.integers(0, 2**16),
-        g=st.sampled_from([4, 8]),
-        el=st.integers(1, 2),
-        c=st.integers(2, 8),
-        t=st.integers(4, 32),
-        temperature=st.floats(0.25, 8.0),
-        direction=st.sampled_from(["scatter", "gather"]),
-    )
+    @given(params=st_exchange_params())
     @settings(max_examples=40, deadline=None)
-    def test_property_bit_identical(
-        self, seed, g, el, c, t, temperature, direction
-    ):
+    def test_property_bit_identical(self, params):
         """Hypothesis form of the invariant: for ANY realized routing
         (any skew, any clipping), the 2-hop exchange delivers the exact
-        buffers of the flat irregular exchange."""
-        rng = np.random.default_rng(seed)
-        bufs, counts = routed_buffers(rng, g, el, c, 4, t, temperature)
-        if direction == "gather":
+        buffers of the flat irregular exchange.  The scenario strategy is
+        shared with the batch-simulation differential harness
+        (:mod:`repro.testing`)."""
+        g = params["g"]
+        rng = np.random.default_rng(params["seed"])
+        bufs, counts = routed_buffers(
+            rng, g, params["el"], params["c"], 4, params["t"],
+            params["temperature"],
+        )
+        if params["direction"] == "gather":
             bufs, _ = all_to_all_irregular(bufs, counts, "scatter")
         topo = Topology(
             num_nodes=2,
@@ -110,8 +88,10 @@ class TestBitIdentity:
             intra_bw_gbps=200.0,
             node_nic_gbps=50.0,
         )
-        flat, _ = all_to_all_irregular(bufs, counts, direction)
-        hier, _, _ = hierarchical_all_to_all(bufs, counts, direction, topo)
+        flat, _ = all_to_all_irregular(bufs, counts, params["direction"])
+        hier, _, _ = hierarchical_all_to_all(
+            bufs, counts, params["direction"], topo
+        )
         for a, b in zip(flat, hier):
             assert np.array_equal(a, b)
 
