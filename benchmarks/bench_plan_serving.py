@@ -1,0 +1,51 @@
+"""Plan-serving stress gate: the serving layer's three contracts.
+
+Drives ~2000 mixed warm/cold requests (derived from every scenario
+preset) through one shared store and asserts the documented serving
+contracts directly, on top of the baseline-diffed regression metrics:
+
+1. **Coalescing** -- a burst of identical concurrent cold requests
+   triggers exactly one planner run.
+2. **Warm path** -- steady-state p50 at least 50x below the cold
+   (planner) p50.
+3. **Nearest-signature serving** -- every one-bucket-away probe is
+   answered immediately from the closest stored plan, every probe's
+   exact re-plan is hot-swapped in (observable telemetry), and the
+   served-vs-exact predicted gap stays within the documented bound.
+"""
+
+from conftest import run_figure
+from repro.bench.figures import plan_serving
+
+
+def test_plan_serving(benchmark):
+    result = run_figure(benchmark, plan_serving.run)
+    notes = result.notes
+
+    # scale: this is a stress gate, not a smoke test
+    assert notes["total_requests"] >= 1000
+    assert notes["suite_size"] >= 26
+
+    # contract 1: coalescing (identical burst => exactly 1 planner run)
+    assert notes["burst_planner_runs"] == 1, notes["server_counters"]
+    assert notes["burst_coalesced"] >= notes["suite_size"]
+
+    # contract 2: warm p50 >= 50x below cold p50
+    assert notes["warm_p50_ms"] * 50 <= notes["cold_p50_ms"], (
+        f"warm p50 {notes['warm_p50_ms']:.3f} ms not 50x below "
+        f"cold p50 {notes['cold_p50_ms']:.3f} ms "
+        f"(speedup {notes['warm_speedup']:.0f}x)"
+    )
+
+    # contract 3: nearest serving with observable hot swaps and a
+    # bounded served-vs-exact predicted gap
+    assert notes["nearest_hits"] == notes["hot_swaps"] > 0
+    assert notes["max_nearest_distance"] <= 0.25
+    assert notes["max_predicted_gap"] <= notes["predicted_gap_bound"], (
+        f"served-vs-exact predicted gap {notes['max_predicted_gap']:.3f} "
+        f"exceeds the documented {notes['predicted_gap_bound']:.2f} bound"
+    )
+
+    # the stream leaves the store populated: one entry per distinct
+    # bucket (suite + burst + one hot-swapped exact plan per probe)
+    assert notes["store_entries"] == notes["suite_size"] + 1 + notes["hot_swaps"]

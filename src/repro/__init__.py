@@ -28,7 +28,7 @@ composes them)::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .api import (
     Plan,
@@ -62,6 +62,7 @@ from .runtime import (
     simulate_cluster,
     simulate_program,
 )
+from .serving import HotSwapEvent, PlanServer, ServeResult, compile_many
 from .train import ReoptimizingTrainer, Trainer
 
 #: legacy spelling of :func:`repro.api.compile` (kept for callers that
@@ -72,6 +73,7 @@ __all__ = [
     "ClusterSpec",
     "ClusterTimeline",
     "GPT2MoEConfig",
+    "HotSwapEvent",
     "InstrKind",
     "LancetHyperParams",
     "LancetOptimizer",
@@ -83,12 +85,14 @@ __all__ = [
     "PlanError",
     "PlanPolicy",
     "PlanSchemaError",
+    "PlanServer",
     "PlanStore",
     "Program",
     "ReoptimizingTrainer",
     "RoutingSignature",
     "RunConfig",
     "Scenario",
+    "ServeResult",
     "SimulationConfig",
     "SyntheticRoutingModel",
     "Timeline",
@@ -98,6 +102,7 @@ __all__ = [
     "WeightGradSchedulePass",
     "build_training_graph",
     "compile",
+    "compile_many",
     "compile_plan",
     "graph_fingerprint",
     "load_plan",

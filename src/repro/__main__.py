@@ -15,6 +15,11 @@ Commands
 ``optimize [--model S|L] [--cluster a100|v100] [--gpus N] [--out F]``
     Optimize one training graph and report the schedule + simulated
     gain (legacy spelling of ``plan`` + ``run``; kept stable).
+``serve stats | serve warm``
+    Plan-serving utilities over a shared store directory: ``stats``
+    summarizes a store (entries, bytes, signature buckets); ``warm``
+    batch-compiles presets through a coalescing
+    :class:`~repro.serving.PlanServer` and prints its telemetry.
 ``list``
     List available figure ids and scenario presets.
 
@@ -272,6 +277,64 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    from .api import PlanStore
+
+    store = PlanStore(args.store)
+    buckets = store._read_signature_index()
+    payload = {
+        "root": str(store.root),
+        "entries": len(store),
+        "bytes": store.total_bytes(),
+        "max_entries": store.max_entries,
+        "max_bytes": store.max_bytes,
+        "digits": store.digits,
+        "signature_bases": len(buckets),
+        "signature_buckets": sum(len(v) for v in buckets.values()),
+    }
+    print(f"plan store {payload['root']}")
+    print(f"  entries: {payload['entries']} "
+          f"({payload['bytes'] / 1024:.1f} KiB)")
+    print(f"  bounds:  max_entries={payload['max_entries']} "
+          f"max_bytes={payload['max_bytes']}")
+    print(f"  signature index: {payload['signature_buckets']} buckets "
+          f"across {payload['signature_bases']} base identities "
+          f"(digits={payload['digits']})")
+    _write_json(args.out, payload)
+    return 0
+
+
+def _cmd_serve_warm(args: argparse.Namespace) -> int:
+    from .api import PlanStore, Scenario
+    from .serving import PlanServer
+
+    store = PlanStore(args.store)
+    scenarios = [Scenario.preset(name) for name in args.presets]
+    if args.seed is not None:
+        scenarios = [sc.with_(routing_seed=args.seed) for sc in scenarios]
+    scenarios = scenarios * max(1, args.repeat)
+    t0 = time.perf_counter()
+    with PlanServer(
+        store, policy=_policy_from_args(args), max_workers=args.jobs
+    ) as server:
+        futures = [server.submit(sc) for sc in scenarios]
+        origins: dict[str, int] = {}
+        for future in futures:
+            origin = future.result().origin
+            origins[origin] = origins.get(origin, 0) + 1
+        server.drain()
+        stats = server.stats()
+    seconds = time.perf_counter() - t0
+    print(f"warmed {len(scenarios)} requests in {seconds:.2f}s "
+          f"({len(args.presets)} presets x{max(1, args.repeat)})")
+    print(f"  origins: {origins}")
+    print(f"  server:  {stats['server']}")
+    print(f"  store:   {stats['store_entries']} entries, "
+          f"{stats['store_bytes'] / 1024:.1f} KiB")
+    _write_json(args.out, {"seconds": seconds, "origins": origins, **stats})
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .api import available_presets
     from .bench import ALL_FIGURES
@@ -388,6 +451,53 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, help="write the optimization report as JSON"
     )
     p_opt.set_defaults(fn=_cmd_optimize)
+
+    p_srv = sub.add_parser(
+        "serve", help="plan-serving utilities over a shared store"
+    )
+    srv_sub = p_srv.add_subparsers(dest="action", required=True)
+
+    p_stats = srv_sub.add_parser(
+        "stats", help="summarize a plan-store directory"
+    )
+    p_stats.add_argument(
+        "--store", required=True, metavar="DIR", help="plan-store directory"
+    )
+    p_stats.add_argument("--out", default=None, help="write stats JSON here")
+    p_stats.set_defaults(fn=_cmd_serve_stats)
+
+    p_warm = srv_sub.add_parser(
+        "warm", parents=[common],
+        help="batch-compile presets through a coalescing PlanServer",
+    )
+    p_warm.add_argument(
+        "presets", nargs="+",
+        help="scenario preset names (see `python -m repro list`)",
+    )
+    p_warm.add_argument(
+        "--store", required=True, metavar="DIR", help="plan-store directory"
+    )
+    p_warm.add_argument(
+        "--repeat", type=int, default=1,
+        help="submit each preset this many times (shows coalescing)",
+    )
+    p_warm.add_argument(
+        "--jobs", type=int, default=None, help="planner thread-pool width"
+    )
+    p_warm.add_argument(
+        "--uniform", action="store_true",
+        help="plan against the uniform approximation (no routing conditioning)",
+    )
+    p_warm.add_argument(
+        "--hierarchical", action="store_true",
+        help="enable per-collective flat vs 2-hop all-to-all choice",
+    )
+    p_warm.add_argument(
+        "--defer-allreduce", action="store_true",
+        help="enable the Lina-style a2a-priority extension",
+    )
+    p_warm.add_argument("--out", default=None, help="write telemetry JSON here")
+    p_warm.set_defaults(fn=_cmd_serve_warm)
 
     p_list = sub.add_parser(
         "list", parents=[common], help="list figure ids and scenario presets"

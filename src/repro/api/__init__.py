@@ -38,7 +38,7 @@ from .plan import (
     PlanSchemaError,
 )
 from .scenario import Scenario, available_presets
-from .store import PlanStore, signature_bucket
+from .store import PlanStore, bucket_distance, signature_bucket
 
 __all__ = [
     "PLAN_SCHEMA",
@@ -50,6 +50,7 @@ __all__ = [
     "PlanStore",
     "Scenario",
     "available_presets",
+    "bucket_distance",
     "canonical_digest",
     "compile",
     "graph_fingerprint",

@@ -7,12 +7,24 @@ artifact.  With a :class:`~repro.api.store.PlanStore` attached, compile
 is a cache: a warm lookup returns a stored plan without constructing an
 optimizer at all (zero cost-model evaluations), which is what makes
 plans computed once reusable by every later process.
+
+The function is split into two reusable layers so that higher-level
+front ends (notably :class:`repro.serving.PlanServer`, which inserts
+coalescing and nearest-signature steps between lookup and planning) can
+share the exact same workload-identity and planning logic:
+
+- :func:`resolve_workload` turns any accepted workload into a
+  :class:`ResolvedWorkload` -- the canonical identity (source program,
+  cluster, fingerprint, observed signatures) a store key is built from;
+- :func:`plan_resolved` runs the optimizer over a resolved workload and
+  wraps the result in a :class:`Plan`.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
+from dataclasses import dataclass
 
 from ..core.lancet import LancetOptimizer
 from ..ir import Program
@@ -25,7 +37,7 @@ from .scenario import Scenario
 from .store import PlanStore
 
 
-def _store_lookup(lookup, *args):
+def _store_lookup(lookup, *args, **kwargs):
     """Run a store lookup, degrading store problems to a cache miss.
 
     A corrupt entry or one written under a newer schema (by another
@@ -36,7 +48,7 @@ def _store_lookup(lookup, *args):
     exception.
     """
     try:
-        return lookup(*args)
+        return lookup(*args, **kwargs)
     except PlanError as err:
         warnings.warn(
             f"plan store lookup failed ({err}); re-planning", stacklevel=3
@@ -55,6 +67,129 @@ def _observed_signatures(program: Program, scenario: Scenario, cluster) -> dict 
         routing=scenario.routing_model(),
     )
     return observed_routing_signatures(program, config) or None
+
+
+@dataclass
+class ResolvedWorkload:
+    """A workload reduced to the canonical identity planning keys on.
+
+    Produced by :func:`resolve_workload`; consumed by
+    :func:`plan_resolved` and by the serving layer's lookup ladder
+    (exact store key -> nearest signature bucket -> planner).
+    """
+
+    #: what the optimizer runs over (graph preferred: carries metadata)
+    source: ModelGraph | Program
+    cluster: ClusterSpec
+    policy: PlanPolicy
+    framework: FrameworkProfile
+    #: structural fingerprint of the source program
+    fingerprint: str
+    #: per-layer routing signatures the plan will be conditioned on
+    signatures: dict | None
+    #: the declarative scenario, when the workload was one
+    scenario: Scenario | None
+    #: True when the scenario alone reproduces this workload (no
+    #: cluster/signature overrides) -- only then may the result enter
+    #: the store's scenario index
+    scenario_pure: bool
+
+    @property
+    def program(self) -> Program:
+        return (
+            self.source.program
+            if isinstance(self.source, ModelGraph)
+            else self.source
+        )
+
+
+def resolve_workload(
+    workload: Scenario | ModelGraph | Program,
+    cluster: ClusterSpec | None = None,
+    *,
+    policy: PlanPolicy | None = None,
+    signatures: dict | None = None,
+    framework: FrameworkProfile = COMPILED,
+) -> ResolvedWorkload:
+    """Reduce any accepted workload to its canonical planning identity.
+
+    For a :class:`Scenario` this builds the graph, derives the cluster,
+    and (under a skew-aware policy) observes the scenario's routing
+    signatures; graphs/programs require an explicit ``cluster``.
+    """
+    policy = policy or PlanPolicy()
+    scenario = workload if isinstance(workload, Scenario) else None
+    # overrides make the result unreproducible from the scenario alone,
+    # so such plans must never enter (or be served from) the scenario
+    # index -- only the canonical fingerprint-keyed path applies
+    scenario_pure = (
+        scenario is not None and cluster is None and signatures is None
+    )
+    if scenario is not None:
+        graph = scenario.build_graph()
+        cluster = cluster or scenario.build_cluster()
+        source: ModelGraph | Program = graph
+        if signatures is None and policy.skew_aware:
+            signatures = _observed_signatures(graph.program, scenario, cluster)
+    elif isinstance(workload, (ModelGraph, Program)):
+        if cluster is None:
+            raise TypeError(
+                "compile(graph_or_program) requires an explicit cluster"
+            )
+        source = workload
+    else:
+        raise TypeError(
+            f"workload must be a Scenario, ModelGraph, or Program; "
+            f"got {type(workload).__name__}"
+        )
+    program = source.program if isinstance(source, ModelGraph) else source
+    return ResolvedWorkload(
+        source=source,
+        cluster=cluster,
+        policy=policy,
+        framework=framework,
+        fingerprint=graph_fingerprint(program),
+        signatures=signatures,
+        scenario=scenario,
+        scenario_pure=scenario_pure,
+    )
+
+
+def plan_resolved(resolved: ResolvedWorkload, check: bool = True) -> Plan:
+    """Run the optimizer over a resolved workload and wrap the result.
+
+    This is the one place a :class:`~repro.core.LancetOptimizer` is
+    constructed on behalf of the facade; everything above it (store
+    lookups, coalescing, nearest-signature serving) is cache machinery.
+    """
+    t0 = time.perf_counter()
+    optimizer = LancetOptimizer(
+        resolved.cluster,
+        framework=resolved.framework,
+        hyper_params=resolved.policy.hyper_params(),
+        enable_dw_schedule=resolved.policy.enable_dw_schedule,
+        enable_partition=resolved.policy.enable_partition,
+        defer_allreduce=resolved.policy.defer_allreduce,
+        routing_signatures=resolved.signatures,
+        enable_hierarchical_a2a=resolved.policy.enable_hierarchical_a2a,
+    )
+    optimized, report = optimizer.optimize(resolved.source, check=check)
+    compile_seconds = time.perf_counter() - t0
+
+    planner = report.summary_dict()
+    planner["compile_seconds"] = compile_seconds
+    return Plan(
+        program=optimized,
+        cluster=resolved.cluster,
+        policy=resolved.policy,
+        fingerprint=resolved.fingerprint,
+        predicted_iteration_ms=report.predicted_iteration_ms,
+        framework=resolved.framework,
+        signatures=report.routing_signatures,
+        scenario=resolved.scenario,
+        planner=planner,
+        report=report,
+    )
 
 
 def compile(
@@ -95,79 +230,42 @@ def compile(
     """
     policy = policy or PlanPolicy()
     scenario = workload if isinstance(workload, Scenario) else None
-    # overrides make the result unreproducible from the scenario alone,
-    # so such plans must never enter (or be served from) the scenario
-    # index -- only the canonical fingerprint-keyed path applies
-    scenario_pure = (
-        scenario is not None and cluster is None and signatures is None
-    )
-
-    if scenario is not None:
+    if (
+        store is not None
+        and scenario is not None
+        and cluster is None
+        and signatures is None
+    ):
         # fast path: a pure scenario's store key is memoized, so a warm
         # lookup needs no graph build, no fingerprint, no observation
-        if store is not None and scenario_pure:
-            plan = _store_lookup(
-                store.lookup_scenario, scenario, policy, framework
-            )
-            if plan is not None:
-                return plan
-        graph = scenario.build_graph()
-        cluster = cluster or scenario.build_cluster()
-        source = graph
-        if signatures is None and policy.skew_aware:
-            signatures = _observed_signatures(graph.program, scenario, cluster)
-    elif isinstance(workload, (ModelGraph, Program)):
-        if cluster is None:
-            raise TypeError(
-                "compile(graph_or_program) requires an explicit cluster"
-            )
-        source = workload
-    else:
-        raise TypeError(
-            f"workload must be a Scenario, ModelGraph, or Program; "
-            f"got {type(workload).__name__}"
-        )
-
-    program = source.program if isinstance(source, ModelGraph) else source
-    fingerprint = graph_fingerprint(program)
-
-    if store is not None:
         plan = _store_lookup(
-            store.get, fingerprint, cluster, policy, framework, signatures
+            store.lookup_scenario, scenario, policy, framework
         )
         if plan is not None:
             return plan
 
-    t0 = time.perf_counter()
-    optimizer = LancetOptimizer(
+    resolved = resolve_workload(
+        workload,
         cluster,
-        framework=framework,
-        hyper_params=policy.hyper_params(),
-        enable_dw_schedule=policy.enable_dw_schedule,
-        enable_partition=policy.enable_partition,
-        defer_allreduce=policy.defer_allreduce,
-        routing_signatures=signatures,
-        enable_hierarchical_a2a=policy.enable_hierarchical_a2a,
-    )
-    optimized, report = optimizer.optimize(source, check=check)
-    compile_seconds = time.perf_counter() - t0
-
-    planner = report.summary_dict()
-    planner["compile_seconds"] = compile_seconds
-    plan = Plan(
-        program=optimized,
-        cluster=cluster,
         policy=policy,
-        fingerprint=fingerprint,
-        predicted_iteration_ms=report.predicted_iteration_ms,
+        signatures=signatures,
         framework=framework,
-        signatures=report.routing_signatures,
-        scenario=scenario,
-        planner=planner,
-        report=report,
     )
     if store is not None:
-        store.put(plan, index_scenario=scenario_pure)
+        plan = _store_lookup(
+            store.get,
+            resolved.fingerprint,
+            resolved.cluster,
+            resolved.policy,
+            resolved.framework,
+            resolved.signatures,
+        )
+        if plan is not None:
+            return plan
+
+    plan = plan_resolved(resolved, check=check)
+    if store is not None:
+        store.put(plan, index_scenario=resolved.scenario_pure)
     return plan
 
 

@@ -11,18 +11,47 @@ quantized bucket form, exactly like the in-memory plan cache of
 yield the same plan share an entry.
 
 Layout: one ``<digest>.plan.json`` per entry under the store root, plus
-``scenario_index.json`` mapping scenario identities to entry digests --
-the memo that lets ``compile(scenario, store=...)`` answer a warm lookup
-without even building the graph.  Writes are atomic (write-to-temp +
-rename), so concurrent writers at worst duplicate work, never corrupt
-an entry.  Reads of entries this process already loaded are served from
-an in-memory cache, invalidated by file mtime/size.
+two sidecar memos -- ``scenario_index.json`` mapping scenario identities
+to entry digests (the memo that lets ``compile(scenario, store=...)``
+answer a warm lookup without even building the graph) and
+``signature_index.json`` mapping each *base* identity (everything but
+the signature bucket) to the buckets stored for it, which is what
+nearest-signature serving (:meth:`PlanStore.nearest`,
+:class:`repro.serving.PlanServer`) walks on an exact-bucket miss.
+
+Concurrency: entry writes are atomic (write-to-temp + rename), and every
+sidecar read-modify-write (index updates, eviction) runs under an
+exclusive ``flock`` on ``<root>/.lock``, so any number of server workers
+or fleet processes can share one store directory -- concurrent writers
+at worst duplicate planning work, never corrupt an entry or an index.
+
+Reads of entries this process already loaded are served from an
+in-memory cache validated by *content fingerprint* (SHA-256 of the file
+bytes), not by mtime: a file replaced within the filesystem's mtime
+granularity -- easy to hit when a server hot-swaps a re-plan split
+milliseconds after the original write -- is still detected and reloaded.
+
+Capacity: ``max_entries`` / ``max_bytes`` bound the store; ``put``
+evicts least-recently-*used* entries (entry files are touched on every
+hit, so file mtime approximates cross-process LRU order) and prunes the
+sidecar indexes.  Eviction counters join the hit/miss stats in
+:meth:`PlanStore.stats`-- the same counter style as
+``LancetReport.cache_stats``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import json
+import math
+import os
 import pathlib
+
+try:  # POSIX; on platforms without fcntl the lock degrades to a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from ..runtime.cluster import ClusterSpec
 from ..runtime.device import FrameworkProfile
@@ -53,6 +82,46 @@ def signature_bucket(signatures: dict | None, digits: int = DEFAULT_KEY_DIGITS):
     ]
 
 
+def bucket_distance(a, b) -> float:
+    """Distance between two quantized signature buckets.
+
+    Mirrors :meth:`~repro.runtime.RoutingSignature.drift_from` on the
+    bucketed form: per layer, the larger of the mean absolute load
+    difference and the relative traffic-volume change, maximized over
+    layers.  ``inf`` for structurally incomparable buckets (different
+    layer sets, device counts, or hierarchy-awareness) and for
+    uniform-vs-conditioned pairs -- nearest-signature serving must never
+    silently cross those lines.
+    """
+    if a is None and b is None:
+        return 0.0
+    if a is None or b is None:
+        return math.inf
+    layers_a = {str(layer): key for layer, key in a}
+    layers_b = {str(layer): key for layer, key in b}
+    if set(layers_a) != set(layers_b):
+        return math.inf
+    worst = 0.0
+    for layer, key_a in layers_a.items():
+        key_b = layers_b[layer]
+        if len(key_a) != len(key_b):
+            return math.inf
+        # key layout (RoutingSignature.key): (scale_MB, *loads[, *hier])
+        scale_a, scale_b = float(key_a[0]), float(key_b[0])
+        if scale_a > 0 and scale_b > 0:
+            scale_d = abs(scale_a - scale_b) / max(scale_a, scale_b)
+        elif scale_a == scale_b:
+            scale_d = 0.0
+        else:
+            return math.inf
+        loads_a, loads_b = key_a[1:], key_b[1:]
+        load_d = sum(
+            abs(float(x) - float(y)) for x, y in zip(loads_a, loads_b)
+        ) / max(len(loads_a), 1)
+        worst = max(worst, scale_d, load_d)
+    return worst
+
+
 class PlanStore:
     """Disk-backed, cross-process plan cache (see module docstring).
 
@@ -62,22 +131,57 @@ class PlanStore:
         Directory holding the entries (created if missing).
     digits:
         Signature-bucket quantization used in keys.
+    max_entries:
+        Entry-count bound; ``put`` evicts approximately-LRU entries
+        beyond it (``None`` = unbounded).
+    max_bytes:
+        Total-size bound over all entry files, same eviction policy.
     """
 
-    def __init__(self, root, digits: int = DEFAULT_KEY_DIGITS) -> None:
+    def __init__(
+        self,
+        root,
+        digits: int = DEFAULT_KEY_DIGITS,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.digits = digits
-        self._memory: dict[str, tuple[tuple, Plan]] = {}
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        #: entry key -> (content sha256, Plan); validated against the
+        #: file's current content digest, never its mtime
+        self._memory: dict[str, tuple[str, Plan]] = {}
         self.stats = {
             "hits": 0,
             "misses": 0,
             "puts": 0,
             "memory_hits": 0,
             "scenario_hits": 0,
+            "nearest_hits": 0,
+            "evictions": 0,
         }
 
     # -- keys ----------------------------------------------------------------
+
+    def _base_payload(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+    ) -> dict:
+        return {
+            "fingerprint": fingerprint,
+            "cluster": cluster_to_json(cluster),
+            "framework": framework_to_json(framework),
+            "policy": policy.to_dict(),
+        }
 
     def key_for(
         self,
@@ -88,17 +192,46 @@ class PlanStore:
         signatures: dict | None = None,
     ) -> str:
         """Digest of the canonical cache key."""
-        payload = {
-            "fingerprint": fingerprint,
-            "cluster": cluster_to_json(cluster),
-            "framework": framework_to_json(framework),
-            "policy": policy.to_dict(),
-            "signatures": signature_bucket(signatures, self.digits),
-        }
+        payload = self._base_payload(fingerprint, cluster, policy, framework)
+        payload["signatures"] = signature_bucket(signatures, self.digits)
         return canonical_digest(payload)
+
+    def base_key_for(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+    ) -> str:
+        """Digest of the signature-free identity: the family of entries
+        that differ only in their routing-signature bucket."""
+        return canonical_digest(
+            self._base_payload(fingerprint, cluster, policy, framework)
+        )
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key[:32]}.plan.json"
+
+    # -- locking -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive cross-process lock over the store's sidecar state.
+
+        Entry files themselves never need it (atomic rename), but index
+        read-modify-writes and eviction do: two unlocked writers would
+        lose each other's index updates.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR, 0o666)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- lookups -------------------------------------------------------------
 
@@ -124,16 +257,26 @@ class PlanStore:
     def _load(self, key: str) -> Plan | None:
         path = self.path_for(key)
         try:
-            st = path.stat()
+            raw = path.read_bytes()
         except OSError:
             return None
-        stamp = (st.st_mtime_ns, st.st_size)
+        # content fingerprint, not mtime: an external overwrite within
+        # the filesystem's timestamp granularity (hot-swap racing the
+        # original write) must still invalidate the memory cache
+        digest = hashlib.sha256(raw).hexdigest()
         cached = self._memory.get(key)
-        if cached is not None and cached[0] == stamp:
+        if cached is not None and cached[0] == digest:
             self.stats["memory_hits"] += 1
+            self._touch(path)
             return cached[1]
         try:
-            plan = Plan.load(path, materialize=False)
+            obj = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise PlanError(
+                f"corrupt plan store entry {path}: not valid JSON ({err})"
+            ) from err
+        try:
+            plan = Plan.from_dict(obj, materialize=False)
         except PlanSchemaError as err:
             # preserve the type: schema mismatches mean "re-compile",
             # not "corrupt", and callers dispatch on it
@@ -141,8 +284,18 @@ class PlanStore:
         except PlanError as err:
             raise PlanError(f"corrupt plan store entry {path}: {err}") from err
         plan.from_store = True
-        self._memory[key] = (stamp, plan)
+        self._memory[key] = (digest, plan)
+        self._touch(path)
         return plan
+
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        """Bump an entry's mtime on use: file mtime is the (approximate,
+        cross-process) LRU order eviction works through."""
+        try:
+            os.utime(path)
+        except OSError:  # entry raced away; the next get is a miss
+            pass
 
     def put(self, plan: Plan, index_scenario: bool = True) -> pathlib.Path:
         """Persist a plan under its canonical key; returns the entry path.
@@ -164,8 +317,13 @@ class PlanStore:
         path = plan.save(self.path_for(key))
         self._memory.pop(key, None)
         self.stats["puts"] += 1
-        if index_scenario and plan.scenario is not None:
-            self._index_scenario(plan.scenario, plan.policy, plan.framework, key)
+        with self._locked():
+            self._index_signatures(plan, key)
+            if index_scenario and plan.scenario is not None:
+                self._index_scenario(
+                    plan.scenario, plan.policy, plan.framework, key
+                )
+            self._evict_locked(protect=key)
         return path
 
     # -- scenario index ------------------------------------------------------
@@ -228,23 +386,183 @@ class PlanStore:
             self.stats["misses"] += 1
         return plan
 
+    # -- signature index / nearest-bucket serving ----------------------------
+    #
+    # Entry keys are opaque digests, so "which other buckets exist for
+    # this graph/cluster/policy?" needs its own memo: base identity ->
+    # {entry key: signature bucket}.  This is what lets a server answer
+    # an exact-bucket miss with the *closest* stored plan immediately
+    # while the exact re-plan runs in the background.
+
+    @property
+    def _signature_index_path(self) -> pathlib.Path:
+        return self.root / "signature_index.json"
+
+    def _read_signature_index(self) -> dict:
+        try:
+            return json.loads(self._signature_index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _index_signatures(self, plan: Plan, key: str) -> None:
+        index = self._read_signature_index()
+        base = self.base_key_for(
+            plan.fingerprint, plan.cluster, plan.policy, plan.framework
+        )
+        family = index.setdefault(base, {})
+        family[key] = signature_bucket(plan.signatures, self.digits)
+        atomic_write_text(
+            self._signature_index_path,
+            json.dumps(index, indent=1, sort_keys=True),
+        )
+
+    def neighbors(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+    ) -> dict[str, object]:
+        """All stored ``{entry key: signature bucket}`` for one base
+        identity (every plan of this graph/cluster/policy/framework,
+        across routing buckets)."""
+        base = self.base_key_for(fingerprint, cluster, policy, framework)
+        return dict(self._read_signature_index().get(base, {}))
+
+    def nearest(
+        self,
+        fingerprint: str,
+        cluster: ClusterSpec,
+        policy: PlanPolicy,
+        framework: FrameworkProfile,
+        signatures: dict | None = None,
+        max_distance: float = 0.25,
+    ) -> tuple[Plan, float] | None:
+        """Closest stored plan of the same base identity, by signature
+        bucket (see :func:`bucket_distance`), within ``max_distance``.
+
+        Returns ``(plan, distance)`` or ``None``.  A distance-0 result
+        is possible (the exact bucket itself); callers that already
+        missed on :meth:`get` simply won't see one.  Counted as
+        ``nearest_hits`` (plus a ``hits`` entry) in :meth:`stats`.
+        """
+        target = signature_bucket(signatures, self.digits)
+        best_key, best_d = None, math.inf
+        for key, bucket in self.neighbors(
+            fingerprint, cluster, policy, framework
+        ).items():
+            d = bucket_distance(target, bucket)
+            if d < best_d:
+                best_key, best_d = key, d
+        if best_key is None or best_d > max_distance:
+            return None
+        plan = self._load(best_key)
+        if plan is None:  # index pointed at an evicted/raced-away entry
+            return None
+        self.stats["nearest_hits"] += 1
+        self.stats["hits"] += 1
+        return plan, best_d
+
+    # -- eviction ------------------------------------------------------------
+
+    def _entry_stats(self) -> list[tuple[float, int, pathlib.Path]]:
+        """(mtime, size, path) per entry, oldest-used first."""
+        out = []
+        for path in self.root.glob("*.plan.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, st.st_size, path))
+        out.sort()
+        return out
+
+    def _over_budget(self, count: int, total: int) -> bool:
+        return (self.max_entries is not None and count > self.max_entries) or (
+            self.max_bytes is not None and total > self.max_bytes
+        )
+
+    def _evict_locked(self, protect: str | None = None) -> int:
+        """Evict approximately-LRU entries until within budget (caller
+        holds the lock).  ``protect`` names the entry that must survive
+        -- the one this very ``put`` just wrote."""
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        protected = self.path_for(protect).name if protect else None
+        entries = self._entry_stats()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        evicted = []
+        for _mtime, size, path in entries:
+            if not self._over_budget(count, total):
+                break
+            if path.name == protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted.append(path.name)
+            count -= 1
+            total -= size
+            self.stats["evictions"] += 1
+        if evicted:
+            self._memory = {
+                k: v
+                for k, v in self._memory.items()
+                if self.path_for(k).name not in set(evicted)
+            }
+            self._prune_indexes()
+        return len(evicted)
+
+    def _prune_indexes(self) -> None:
+        """Drop index entries whose plan file no longer exists."""
+        live = {p.name for p in self.root.glob("*.plan.json")}
+        index = self._read_index()
+        pruned = {
+            k: v for k, v in index.items() if f"{v[:32]}.plan.json" in live
+        }
+        if pruned != index:
+            atomic_write_text(
+                self._index_path, json.dumps(pruned, indent=1, sort_keys=True)
+            )
+        sig_index = self._read_signature_index()
+        sig_pruned = {}
+        for base, family in sig_index.items():
+            keep = {
+                k: b for k, b in family.items() if f"{k[:32]}.plan.json" in live
+            }
+            if keep:
+                sig_pruned[base] = keep
+        if sig_pruned != sig_index:
+            atomic_write_text(
+                self._signature_index_path,
+                json.dumps(sig_pruned, indent=1, sort_keys=True),
+            )
+
     # -- maintenance ---------------------------------------------------------
 
     def entries(self) -> list[pathlib.Path]:
         """Paths of every stored plan."""
         return sorted(self.root.glob("*.plan.json"))
 
+    def total_bytes(self) -> int:
+        """Total size of all entry files (what ``max_bytes`` bounds)."""
+        return sum(size for _, size, _ in self._entry_stats())
+
     def __len__(self) -> int:
         return len(self.entries())
 
     def clear(self) -> None:
-        """Delete every entry (and the scenario index)."""
-        for path in self.entries():
-            path.unlink()
-        try:
-            self._index_path.unlink()
-        except OSError:
-            pass
+        """Delete every entry (and the sidecar indexes)."""
+        with self._locked():
+            for path in self.entries():
+                path.unlink()
+            for sidecar in (self._index_path, self._signature_index_path):
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
         self._memory.clear()
 
     def __repr__(self) -> str:

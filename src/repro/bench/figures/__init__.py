@@ -11,6 +11,7 @@ from . import (
     headline,
     imbalance,
     opt_time,
+    plan_serving,
     sim_throughput,
     skew_sweep,
     topology_sweep,
@@ -34,6 +35,7 @@ ALL_FIGURES = {
     "headline": headline.run,
     "imbalance": imbalance.run,
     "opt_time": opt_time.run,
+    "plan_serving": plan_serving.run,
     "sim_throughput": sim_throughput.run,
     "skew_sweep": skew_sweep.run,
     "topology": topology_sweep.run,

@@ -1,0 +1,50 @@
+"""repro.serving: the production plan-serving layer.
+
+Where :mod:`repro.api` makes one compiled schedule a shippable artifact,
+this package makes *serving* those artifacts at fleet scale a first-class
+operation (see the ROADMAP's "plan-serving at production scale" and the
+per-traffic-pattern serving argument of MoNTA, arXiv 2411.00662):
+
+- :class:`PlanServer` -- concurrent front end over one shared
+  :class:`~repro.api.PlanStore`: request **coalescing** (identical
+  concurrent compiles share one planner run), **nearest-signature
+  serving** (the closest stored routing bucket answers immediately while
+  the exact re-plan runs in the background and is hot-swapped in), an
+  in-process memory cache, and full hit/miss/coalesce/hot-swap
+  telemetry.
+- :func:`compile_many` -- one-shot batch compile with coalescing.
+- :class:`ServeResult` / :class:`HotSwapEvent` -- per-request and
+  per-swap observability records.
+
+Typical usage::
+
+    from repro.api import PlanStore, Scenario
+    from repro.serving import PlanServer
+
+    store = PlanStore("plans/", max_entries=4096)
+    with PlanServer(store) as server:
+        plans = server.compile_many(
+            [Scenario.preset("tiny/a100x8")] * 100)   # 1 planner run
+        print(server.stats()["server"])
+
+The CLI mirror is ``python -m repro serve`` (``stats`` / ``warm``); the
+deployment-shaped guide is ``docs/SERVING.md``.
+"""
+
+from .server import (
+    DEFAULT_MAX_DISTANCE,
+    NEAREST_PREDICTED_GAP_BOUND,
+    HotSwapEvent,
+    PlanServer,
+    ServeResult,
+    compile_many,
+)
+
+__all__ = [
+    "DEFAULT_MAX_DISTANCE",
+    "NEAREST_PREDICTED_GAP_BOUND",
+    "HotSwapEvent",
+    "PlanServer",
+    "ServeResult",
+    "compile_many",
+]

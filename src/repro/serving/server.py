@@ -1,0 +1,559 @@
+"""The plan server: coalescing, nearest-signature serving, hot swaps.
+
+One planner run costs hundreds of milliseconds (`BENCH_opt_time`); a
+warm :class:`~repro.api.PlanStore` read costs a fraction of one.  A
+serving layer that wants to answer *millions* of compile requests
+therefore has exactly one job: make sure the planner runs as rarely --
+and as far off the request path -- as possible.  :class:`PlanServer`
+does that with three mechanisms layered over
+:func:`repro.api.compile`'s resolve/plan split:
+
+request coalescing
+    Every request reduces to a canonical identity key (the PR 5
+    fingerprint tuple -- scenario/policy/framework, or graph
+    fingerprint/cluster/policy/signature bucket).  Concurrent requests
+    with the same key share one in-flight planner run: the first
+    arrival plans, the rest subscribe to its future.  A burst of N
+    identical cold requests triggers exactly one planner run.
+
+nearest-signature serving
+    On an exact-bucket miss the server consults the store's signature
+    index for the *closest* stored plan of the same base identity
+    (:func:`repro.api.store.bucket_distance`, bounded by
+    ``max_distance``).  The neighbor is returned immediately -- Lancet
+    plans degrade smoothly in signature distance, so a close bucket's
+    schedule is near-optimal -- while the exact re-plan runs in the
+    background and is **hot-swapped** into the store (and the server's
+    memory cache) on completion.  Subsequent identical requests coalesce
+    onto the in-flight re-plan or hit the swapped entry.
+
+telemetry
+    Every decision increments a counter (`requests`, `coalesced`,
+    `memory_hits`, `store_hits`, `nearest_hits`, `planner_runs`,
+    `hot_swaps`, ...), in the same observable-counter style as
+    ``LancetReport.cache_stats``; hot swaps additionally append a
+    :class:`HotSwapEvent` recording the served-vs-exact predicted gap.
+    :meth:`PlanServer.stats` merges server, memory-cache and store
+    counters into one JSON-friendly snapshot (the ``serve stats`` CLI).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..api.codec import cluster_to_json, framework_to_json
+from ..api.compiler import plan_resolved, resolve_workload
+from ..api.fingerprint import canonical_digest, graph_fingerprint
+from ..api.plan import Plan, PlanError, PlanPolicy
+from ..api.scenario import Scenario
+from ..api.store import PlanStore, signature_bucket
+from ..core.cache import LRUCache
+from ..runtime.device import COMPILED, FrameworkProfile
+
+#: default nearest-signature serving radius, in bucket-distance units
+#: (see :func:`repro.api.store.bucket_distance`; the scale matches
+#: ``RoutingSignature.drift_from``).  The documented staleness bound:
+#: a served neighbor differs from the exact re-plan by at most this
+#: much routing drift, and on the preset suite its predicted iteration
+#: time stays within ~10% of the exact plan's (asserted by
+#: ``benchmarks/bench_plan_serving.py``, gated at 25%).
+DEFAULT_MAX_DISTANCE = 0.25
+
+#: documented bound on the served-vs-exact predicted-time gap under the
+#: default ``max_distance`` (relative; enforced by the serving benchmark)
+NEAREST_PREDICTED_GAP_BOUND = 0.25
+
+
+@dataclass
+class ServeResult:
+    """One answered request: the plan plus how it was produced.
+
+    ``origin`` is one of ``"memory"`` (server memory cache),
+    ``"store"`` (exact store hit), ``"nearest"`` (neighboring-bucket
+    plan served while the exact re-plan runs in the background), or
+    ``"planned"`` (cold planner run).  Coalesced followers receive the
+    leader's result object unchanged.
+    """
+
+    plan: Plan
+    origin: str
+    key: str
+    #: bucket distance of a nearest-signature answer (else ``None``)
+    distance: float | None = None
+    latency_s: float = 0.0
+
+
+@dataclass
+class HotSwapEvent:
+    """Record of one background exact re-plan replacing a nearest hit."""
+
+    key: str
+    distance: float
+    #: prediction of the neighbor plan that was served immediately
+    served_predicted_ms: float
+    #: prediction of the exact re-plan that replaced it
+    exact_predicted_ms: float
+    #: wall time of the background planner run
+    seconds: float
+
+    @property
+    def predicted_gap(self) -> float:
+        """Relative served-vs-exact predicted-time gap (the realized
+        staleness of the nearest-signature answer)."""
+        ref = max(abs(self.exact_predicted_ms), 1e-9)
+        return abs(self.served_predicted_ms - self.exact_predicted_ms) / ref
+
+
+class PlanServer:
+    """Concurrent plan-serving front end over one shared store.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.api.PlanStore` (its ``max_entries`` /
+        ``max_bytes`` bounds and locking make it safe to point several
+        servers -- or a whole fleet -- at one directory).
+    policy / framework:
+        Defaults applied to requests that don't specify their own.
+    max_workers:
+        Planner thread-pool width (default: executor default).  Planner
+        runs are CPU-bound Python, so this bounds memory pressure more
+        than it buys parallel speedup; coalescing is what provides the
+        throughput.
+    memory_cache_size:
+        Entries in the server's in-process plan cache (0 disables it).
+        This layer makes the warm path free of disk I/O; it is refreshed
+        on every publish/hot-swap through *this* server, so its staleness
+        against writes by other processes is bounded by entry turnover.
+    nearest:
+        Enable nearest-signature serving.
+    max_distance:
+        Serving radius for nearest-signature answers
+        (:data:`DEFAULT_MAX_DISTANCE`).
+    check:
+        Validate the IR after planner passes (forwarded to the planner).
+    """
+
+    def __init__(
+        self,
+        store: PlanStore,
+        *,
+        policy: PlanPolicy | None = None,
+        framework: FrameworkProfile = COMPILED,
+        max_workers: int | None = None,
+        memory_cache_size: int = 512,
+        nearest: bool = True,
+        max_distance: float = DEFAULT_MAX_DISTANCE,
+        check: bool = True,
+    ) -> None:
+        self.store = store
+        self.policy = policy or PlanPolicy()
+        self.framework = framework
+        self.nearest = nearest
+        self.max_distance = max_distance
+        self.check = check
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="plan-server"
+        )
+        self._lock = threading.Lock()
+        #: request key -> in-flight Future[ServeResult]; also holds
+        #: background hot-swap re-plans under "swap:<key>"
+        self._inflight: dict[str, Future] = {}
+        self._memory = (
+            LRUCache(memory_cache_size, name="server-memory")
+            if memory_cache_size
+            else None
+        )
+        self.counters = {
+            "requests": 0,
+            "coalesced": 0,
+            "memory_hits": 0,
+            "store_hits": 0,
+            "nearest_hits": 0,
+            "planner_runs": 0,
+            "misses": 0,
+            "hot_swaps": 0,
+            "published": 0,
+            "errors": 0,
+        }
+        #: completed hot swaps, in completion order
+        self.events: list[HotSwapEvent] = []
+        self._closed = False
+
+    # -- identity ------------------------------------------------------------
+
+    def request_key(
+        self,
+        workload,
+        cluster=None,
+        policy: PlanPolicy | None = None,
+        signatures: dict | None = None,
+        framework: FrameworkProfile | None = None,
+    ) -> str:
+        """Canonical identity of one request (the coalescing key).
+
+        Scenario requests key on the declarative spec -- no graph build
+        needed, so submission stays cheap; graph/program requests key on
+        the store's canonical fingerprint tuple.
+        """
+        policy = policy or self.policy
+        framework = framework or self.framework
+        if isinstance(workload, Scenario):
+            return canonical_digest(
+                {
+                    "scenario": workload.to_dict(),
+                    "cluster": cluster_to_json(cluster) if cluster else None,
+                    "policy": policy.to_dict(),
+                    "framework": framework_to_json(framework),
+                    "signatures": signature_bucket(
+                        signatures, self.store.digits
+                    ),
+                }
+            )
+        if cluster is None:
+            raise TypeError("graph/program requests require an explicit cluster")
+        return self.store.key_for(
+            graph_fingerprint(workload), cluster, policy, framework, signatures
+        )
+
+    # -- the request path ----------------------------------------------------
+
+    def submit(
+        self,
+        workload,
+        cluster=None,
+        *,
+        policy: PlanPolicy | None = None,
+        signatures: dict | None = None,
+        framework: FrameworkProfile | None = None,
+    ) -> Future:
+        """Enqueue one request; returns a ``Future[ServeResult]``.
+
+        Identical concurrent requests coalesce: the key is registered
+        synchronously here, so every submission after the first --
+        regardless of worker scheduling -- subscribes to the in-flight
+        run instead of starting its own.
+        """
+        if self._closed:
+            raise RuntimeError("PlanServer is closed")
+        policy = policy or self.policy
+        framework = framework or self.framework
+        key = self.request_key(workload, cluster, policy, signatures, framework)
+        with self._lock:
+            self.counters["requests"] += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.counters["coalesced"] += 1
+                return inflight
+            if self._memory is not None:
+                plan = self._memory.get(key)
+                if plan is not None:
+                    self.counters["memory_hits"] += 1
+                    done: Future = Future()
+                    done.set_result(
+                        ServeResult(plan=plan, origin="memory", key=key)
+                    )
+                    return done
+            future: Future = Future()
+            self._inflight[key] = future
+        self._pool.submit(
+            self._serve_into,
+            future,
+            key,
+            workload,
+            cluster,
+            policy,
+            signatures,
+            framework,
+        )
+        return future
+
+    def serve(self, workload, cluster=None, **kwargs) -> ServeResult:
+        """Synchronous single request (see :meth:`submit`)."""
+        return self.submit(workload, cluster, **kwargs).result()
+
+    def compile_many(self, workloads, cluster=None, **kwargs) -> list[Plan]:
+        """Compile a batch of workloads concurrently; returns plans in
+        input order.  Duplicate (and already-in-flight) workloads share
+        one planner run each -- submitting 500 copies of one scenario
+        costs one plan.
+        """
+        futures = [self.submit(w, cluster, **kwargs) for w in workloads]
+        return [f.result().plan for f in futures]
+
+    # -- worker side ---------------------------------------------------------
+
+    def _serve_into(
+        self, future, key, workload, cluster, policy, signatures, framework
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            result = self._lookup_or_plan(
+                key, workload, cluster, policy, signatures, framework
+            )
+            result.latency_s = time.perf_counter() - t0
+        except BaseException as err:
+            with self._lock:
+                self.counters["errors"] += 1
+                self._inflight.pop(key, None)
+            future.set_exception(err)
+            return
+        with self._lock:
+            # nearest answers were cached before their hot swap was
+            # spawned (the swap's exact plan must never be overwritten
+            # by the staler neighbor); everything else is cached here
+            if self._memory is not None and result.origin != "nearest":
+                self._memory.put(key, result.plan)
+            self._inflight.pop(key, None)
+        future.set_result(result)
+
+    def _store_lookup(self, lookup, *args, **kwargs):
+        """A store problem (corrupt entry, foreign schema) must degrade
+        to a miss, not take the serving path down -- the planner always
+        works and its ``put`` replaces the bad entry."""
+        try:
+            return lookup(*args, **kwargs)
+        except PlanError:
+            return None
+
+    def _lookup_or_plan(
+        self, key, workload, cluster, policy, signatures, framework
+    ) -> ServeResult:
+        # 1. scenario fast path: warm answer without building a graph
+        scenario_pure = (
+            isinstance(workload, Scenario)
+            and cluster is None
+            and signatures is None
+        )
+        if scenario_pure:
+            plan = self._store_lookup(
+                self.store.lookup_scenario, workload, policy, framework
+            )
+            if plan is not None:
+                with self._lock:
+                    self.counters["store_hits"] += 1
+                return ServeResult(plan=plan, origin="store", key=key)
+
+        resolved = resolve_workload(
+            workload,
+            cluster,
+            policy=policy,
+            signatures=signatures,
+            framework=framework,
+        )
+        # 2. exact signature bucket
+        plan = self._store_lookup(
+            self.store.get,
+            resolved.fingerprint,
+            resolved.cluster,
+            resolved.policy,
+            resolved.framework,
+            resolved.signatures,
+        )
+        if plan is not None:
+            with self._lock:
+                self.counters["store_hits"] += 1
+            return ServeResult(plan=plan, origin="store", key=key)
+
+        # 3. nearest bucket now + exact re-plan in the background
+        if self.nearest:
+            near = self._store_lookup(
+                self.store.nearest,
+                resolved.fingerprint,
+                resolved.cluster,
+                resolved.policy,
+                resolved.framework,
+                resolved.signatures,
+                self.max_distance,
+            )
+            if near is not None:
+                neighbor, distance = near
+                with self._lock:
+                    self.counters["nearest_hits"] += 1
+                    # cache the neighbor *before* the swap can land, so
+                    # the exact plan always wins the memory-cache race
+                    if self._memory is not None:
+                        self._memory.put(key, neighbor)
+                self._spawn_hot_swap(key, resolved, neighbor, distance)
+                return ServeResult(
+                    plan=neighbor, origin="nearest", key=key, distance=distance
+                )
+
+        # 4. cold: run the planner and publish
+        with self._lock:
+            self.counters["misses"] += 1
+        plan = self._plan_and_publish(resolved)
+        return ServeResult(plan=plan, origin="planned", key=key)
+
+    def _plan_and_publish(self, resolved) -> Plan:
+        plan = plan_resolved(resolved, check=self.check)
+        with self._lock:
+            self.counters["planner_runs"] += 1
+        self.store.put(plan, index_scenario=resolved.scenario_pure)
+        return plan
+
+    # -- background hot swap -------------------------------------------------
+
+    def _spawn_hot_swap(self, key, resolved, neighbor, distance) -> None:
+        """Kick off the exact re-plan behind a nearest-signature answer.
+
+        Registered in ``_inflight`` under a swap key so that a storm of
+        requests landing in the same missing bucket spawns exactly one
+        background planner run.
+        """
+        swap_key = f"swap:{key}"
+        with self._lock:
+            if swap_key in self._inflight or self._closed:
+                return
+            swap_future: Future = Future()
+            self._inflight[swap_key] = swap_future
+        self._pool.submit(
+            self._hot_swap_into,
+            swap_future,
+            swap_key,
+            key,
+            resolved,
+            neighbor.predicted_iteration_ms,
+            distance,
+        )
+
+    def _hot_swap_into(
+        self, future, swap_key, key, resolved, served_predicted_ms, distance
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            plan = self._plan_and_publish(resolved)
+        except BaseException as err:
+            with self._lock:
+                self.counters["errors"] += 1
+                self._inflight.pop(swap_key, None)
+            future.set_exception(err)
+            return
+        event = HotSwapEvent(
+            key=key,
+            distance=distance,
+            served_predicted_ms=served_predicted_ms,
+            exact_predicted_ms=plan.predicted_iteration_ms,
+            seconds=time.perf_counter() - t0,
+        )
+        with self._lock:
+            if self._memory is not None:
+                self._memory.put(key, plan)
+            self.counters["hot_swaps"] += 1
+            self.events.append(event)
+            self._inflight.pop(swap_key, None)
+        future.set_result(event)
+
+    # -- publishing (trainer integration) ------------------------------------
+
+    def publish(self, plan: Plan, index_scenario: bool = False) -> None:
+        """Publish an externally produced plan (e.g. a
+        :class:`~repro.train.ReoptimizingTrainer` re-plan) through the
+        server: written to the shared store and installed in the memory
+        cache, so subsequent requests for its identity are warm."""
+        self.store.put(plan, index_scenario=index_scenario)
+        key = self.store.key_for(
+            plan.fingerprint,
+            plan.cluster,
+            plan.policy,
+            plan.framework,
+            plan.signatures,
+        )
+        with self._lock:
+            if self._memory is not None:
+                self._memory.put(key, plan)
+            self.counters["published"] += 1
+
+    # -- lifecycle / observability -------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every in-flight request and background hot swap
+        has completed (makes telemetry deterministic for tests/benches).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                pending = list(self._inflight.values())
+            if not pending:
+                return
+            for f in pending:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                try:
+                    f.result(timeout=remaining)
+                except Exception:  # surfaced to the original caller too
+                    pass
+
+    def close(self, wait: bool = True) -> None:
+        """Drain (optionally) and shut the worker pool down."""
+        if wait:
+            self.drain()
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """One JSON-friendly counter snapshot: server decisions, memory
+        cache, and the underlying store (``serve stats`` CLI payload,
+        ``LancetReport.cache_stats`` style)."""
+        with self._lock:
+            snapshot = {
+                "server": dict(self.counters),
+                "memory": self._memory.stats() if self._memory else None,
+                "store": dict(self.store.stats),
+                "store_entries": len(self.store),
+                "store_bytes": self.store.total_bytes(),
+                "inflight": len(self._inflight),
+                "hot_swap_events": [
+                    {
+                        "distance": e.distance,
+                        "served_predicted_ms": e.served_predicted_ms,
+                        "exact_predicted_ms": e.exact_predicted_ms,
+                        "predicted_gap": e.predicted_gap,
+                        "seconds": e.seconds,
+                    }
+                    for e in self.events
+                ],
+            }
+        return snapshot
+
+
+def compile_many(
+    workloads,
+    store: PlanStore | None = None,
+    *,
+    policy: PlanPolicy | None = None,
+    framework: FrameworkProfile = COMPILED,
+    max_workers: int | None = None,
+    nearest: bool = True,
+) -> list[Plan]:
+    """One-shot batch compile with coalescing (module-level convenience).
+
+    Spins up a :class:`PlanServer` over ``store`` (an ephemeral
+    in-memory-only run needs a store directory all the same -- pass a
+    temp dir), serves the batch, drains background work, and shuts the
+    server down.  Long-lived callers should hold a :class:`PlanServer`
+    instead.
+    """
+    if store is None:
+        raise TypeError(
+            "compile_many requires a PlanStore (plans are served, and "
+            "published, through it)"
+        )
+    with PlanServer(
+        store,
+        policy=policy,
+        framework=framework,
+        max_workers=max_workers,
+        nearest=nearest,
+    ) as server:
+        return server.compile_many(workloads)

@@ -216,6 +216,13 @@ class ReoptimizingTrainer(Trainer):
         another process may already have planned this signature bucket
         -- and every fresh re-plan is published back, so a fleet of
         trainers amortizes planning work.
+    server:
+        Optional :class:`~repro.serving.PlanServer`.  The trainer reads
+        through the server's store and publishes every fresh re-plan
+        via :meth:`~repro.serving.PlanServer.publish`, so the server's
+        memory cache (and hence every other client of that server) is
+        warm for the new signature bucket the moment the re-plan lands.
+        Implies ``store=server.store`` when no store is given.
     """
 
     def __init__(
@@ -230,10 +237,14 @@ class ReoptimizingTrainer(Trainer):
         parallel: bool | None = None,
         plan: Plan | None = None,
         store=None,
+        server=None,
     ) -> None:
         self.optimizer = optimizer
         self.drift_threshold = drift_threshold
         self.cache_digits = cache_digits
+        self.server = server
+        if store is None and server is not None:
+            store = server.store
         self.store = store
         if plan is not None:
             _check_plan_matches(plan, graph)
@@ -391,7 +402,7 @@ class ReoptimizingTrainer(Trainer):
 
     def _store_put(self, program: Program, report) -> None:
         """Publish a fresh re-plan so other trainers skip the planner."""
-        if self.store is None:
+        if self.store is None and self.server is None:
             return
         plan = Plan(
             program=program,
@@ -403,7 +414,12 @@ class ReoptimizingTrainer(Trainer):
             signatures=dict(self._observed),
             planner=report.summary_dict(),
         )
-        self.store.put(plan)
+        if self.server is not None:
+            # through the server: also lands in its memory cache, so
+            # every other client is warm for this bucket immediately
+            self.server.publish(plan)
+        else:
+            self.store.put(plan)
 
     def step(self) -> StepResult:
         result = super().step()

@@ -1,10 +1,10 @@
 """Doc snippets are executable: the documentation cannot rot.
 
-Every fenced ``python`` block in ``docs/API.md`` and ``docs/TUTORIAL.md``
-is executed top-to-bottom in one namespace per file (the documents are
-written as sequential walkthroughs).  A failing snippet fails this test,
-which the CI ``docs`` job runs alongside the markdown link checker
-(``tools/check_docs.py``).
+Every fenced ``python`` block in ``docs/API.md``, ``docs/TUTORIAL.md``
+and ``docs/SERVING.md`` is executed top-to-bottom in one namespace per
+file (the documents are written as sequential walkthroughs).  A failing
+snippet fails this test, which the CI ``docs`` job runs alongside the
+markdown link/coverage checker (``tools/check_docs.py``).
 """
 
 import importlib.util
@@ -28,7 +28,7 @@ def python_blocks(path: pathlib.Path) -> list[str]:
     return check_docs.python_blocks(path)
 
 
-@pytest.mark.parametrize("doc", ["API.md", "TUTORIAL.md"])
+@pytest.mark.parametrize("doc", ["API.md", "TUTORIAL.md", "SERVING.md"])
 def test_doc_snippets_execute(doc):
     path = DOCS / doc
     blocks = python_blocks(path)
@@ -45,8 +45,13 @@ def test_doc_snippets_execute(doc):
 
 def test_docs_exist_and_are_linked():
     """The documentation suite is present and indexed from the README."""
-    for name in ("API.md", "TUTORIAL.md", "ARCHITECTURE.md"):
+    for name in ("API.md", "TUTORIAL.md", "SERVING.md", "ARCHITECTURE.md"):
         assert (DOCS / name).exists(), f"docs/{name} missing"
     readme = (DOCS.parent / "README.md").read_text()
-    for name in ("docs/API.md", "docs/TUTORIAL.md", "docs/ARCHITECTURE.md"):
+    for name in (
+        "docs/API.md",
+        "docs/TUTORIAL.md",
+        "docs/SERVING.md",
+        "docs/ARCHITECTURE.md",
+    ):
         assert name in readme, f"README does not link {name}"

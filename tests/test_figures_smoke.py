@@ -25,6 +25,7 @@ class TestRegistry:
             "headline",
             "imbalance",
             "opt_time",
+            "plan_serving",
             "sim_throughput",
             "skew_sweep",
             "topology",

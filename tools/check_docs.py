@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """Documentation hygiene checker (run by the CI ``docs`` job).
 
-Two checks over the repo's markdown:
+Three checks over the repo's markdown:
 
 1. **Intra-repo links resolve.**  Every relative markdown link target
    (``[text](path)``, ``path`` not a URL or pure anchor) must exist on
    disk, relative to the file containing it.
 2. **Python snippets compile.**  Every fenced ``python`` block in the
    checked files must at least byte-compile (the ``docs`` CI job
-   additionally *executes* the API.md / TUTORIAL.md blocks via
-   ``tests/test_docs_snippets.py``).
+   additionally *executes* the API.md / TUTORIAL.md / SERVING.md
+   blocks via ``tests/test_docs_snippets.py``).
+3. **Public symbols are documented.**  Every name in
+   ``repro.api.__all__`` and ``repro.serving.__all__`` must be
+   mentioned somewhere under ``docs/`` (or the README) -- the facade
+   surface cannot silently outgrow its documentation.  (Runs only in
+   default mode, where the full corpus is checked.)
 
 Usage:  python tools/check_docs.py [files...]
         (no arguments = README.md + all of docs/)
@@ -70,6 +75,31 @@ def check_snippets(path: pathlib.Path) -> list[str]:
     return problems
 
 
+#: facade modules whose entire ``__all__`` must appear in the docs
+_COVERED_MODULES = ("repro.api", "repro.serving")
+
+
+def check_symbol_coverage(files: list[pathlib.Path]) -> list[str]:
+    """Every public facade symbol is mentioned in the doc corpus."""
+    import importlib
+
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        corpus = "\n".join(f.read_text() for f in files if f.exists())
+        problems = []
+        for module_name in _COVERED_MODULES:
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                if name not in corpus:
+                    problems.append(
+                        f"{module_name}.{name} is public but never "
+                        f"mentioned in README.md or docs/"
+                    )
+        return problems
+    finally:
+        sys.path.remove(str(REPO / "src"))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     files = [pathlib.Path(a) for a in args] or default_files()
@@ -80,12 +110,18 @@ def main(argv: list[str] | None = None) -> int:
             continue
         problems += check_links(f)
         problems += check_snippets(f)
+    if not args:  # full-corpus mode: coverage is meaningful
+        problems += check_symbol_coverage(files)
     if problems:
         print("documentation problems:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    print(f"docs OK: {len(files)} files, links resolve, snippets compile")
+    coverage = "" if args else ", public symbols covered"
+    print(
+        f"docs OK: {len(files)} files, links resolve, snippets "
+        f"compile{coverage}"
+    )
     return 0
 
 
