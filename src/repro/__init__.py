@@ -28,7 +28,7 @@ composes them)::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .api import (
     Plan,
@@ -62,6 +62,13 @@ from .runtime import (
     simulate_cluster,
     simulate_program,
 )
+from .faults import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    StragglerDetector,
+    derive_degraded,
+)
 from .serving import HotSwapEvent, PlanServer, ServeResult, compile_many
 from .train import ReoptimizingTrainer, Trainer
 
@@ -72,6 +79,9 @@ compile_plan = compile
 __all__ = [
     "ClusterSpec",
     "ClusterTimeline",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
     "GPT2MoEConfig",
     "HotSwapEvent",
     "InstrKind",
@@ -94,6 +104,7 @@ __all__ = [
     "Scenario",
     "ServeResult",
     "SimulationConfig",
+    "StragglerDetector",
     "SyntheticRoutingModel",
     "Timeline",
     "Topology",
@@ -104,6 +115,7 @@ __all__ = [
     "compile",
     "compile_many",
     "compile_plan",
+    "derive_degraded",
     "graph_fingerprint",
     "load_plan",
     "simulate_cluster",

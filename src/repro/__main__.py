@@ -279,11 +279,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     from .api import PlanStore
+    from .api.plan import PlanError
 
-    store = PlanStore(args.store)
+    try:
+        # read-only: stats over a missing root is a well-formed empty
+        # report, not a freshly created directory as a side effect
+        store = PlanStore(args.store, create=False)
+    except PlanError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     buckets = store._read_signature_index()
     payload = {
         "root": str(store.root),
+        "exists": store.root.is_dir(),
         "entries": len(store),
         "bytes": store.total_bytes(),
         "max_entries": store.max_entries,

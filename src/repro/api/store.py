@@ -47,6 +47,7 @@ import json
 import math
 import os
 import pathlib
+import warnings
 
 try:  # POSIX; on platforms without fcntl the lock degrades to a no-op
     import fcntl
@@ -136,6 +137,11 @@ class PlanStore:
         beyond it (``None`` = unbounded).
     max_bytes:
         Total-size bound over all entry files, same eviction policy.
+    create:
+        Create the root directory if missing (the default).  Pass
+        ``False`` for read-only inspection (``serve stats``): a missing
+        root then behaves as an empty store instead of leaving a fresh
+        directory behind as a side effect.
     """
 
     def __init__(
@@ -144,13 +150,19 @@ class PlanStore:
         digits: int = DEFAULT_KEY_DIGITS,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        create: bool = True,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
+        if self.root.exists() and not self.root.is_dir():
+            raise PlanError(
+                f"plan store root {self.root} exists but is not a directory"
+            )
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
         self.digits = digits
         self.max_entries = max_entries
         self.max_bytes = max_bytes
@@ -166,6 +178,9 @@ class PlanStore:
             "nearest_hits": 0,
             "evictions": 0,
         }
+        #: set once the first lock attempt fails (unsupported
+        #: filesystem): later sidecar updates run lockless
+        self._lock_broken = False
 
     # -- keys ----------------------------------------------------------------
 
@@ -221,13 +236,35 @@ class PlanStore:
         Entry files themselves never need it (atomic rename), but index
         read-modify-writes and eviction do: two unlocked writers would
         lose each other's index updates.
+
+        On filesystems where ``flock`` is unavailable (some network /
+        container mounts raise ``OSError``) the store degrades to
+        *lockless* sidecar updates with a one-time warning rather than
+        failing every ``put``: entry files stay safe either way (atomic
+        rename), only concurrent index updates may then lose entries --
+        which downstream code already treats as a cache miss.
         """
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        if fcntl is None or self._lock_broken:  # pragma: no cover
             yield
             return
-        fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR, 0o666)
+        fd = None
         try:
+            fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR, 0o666)
             fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError as err:
+            if fd is not None:
+                os.close(fd)
+            self._lock_broken = True
+            warnings.warn(
+                f"plan store locking unavailable on {self.root} ({err}); "
+                f"degrading to lockless index updates (concurrent writers "
+                f"may lose index entries, which reads treat as misses)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            yield
+            return
+        try:
             yield
         finally:
             fcntl.flock(fd, fcntl.LOCK_UN)

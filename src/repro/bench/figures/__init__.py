@@ -1,6 +1,7 @@
 """Per-figure experiment runners (one module per paper figure)."""
 
 from . import (
+    fault_recovery,
     fig02,
     fig06,
     fig11,
@@ -21,9 +22,11 @@ from .common import FigureResult
 #: figure id -> callable returning a FigureResult (fig12 is fig11 with
 #: the Batch Prioritized gate, as in the paper; "imbalance" is an
 #: extension: the per-device load-skew scenario family, "skew_sweep"
-#: compares uniform vs skew-aware plans across hotness, and "topology"
-#: compares flat vs hierarchical (2-hop) all-to-all plans)
+#: compares uniform vs skew-aware plans across hotness, "topology"
+#: compares flat vs hierarchical (2-hop) all-to-all plans, and "faults"
+#: runs the ISSUE 8 chaos drills over the fault-injection stack)
 ALL_FIGURES = {
+    "faults": fault_recovery.run,
     "fig02": fig02.run,
     "fig06": fig06.run,
     "fig11": lambda **kw: fig11.run(gate="switch", **kw),

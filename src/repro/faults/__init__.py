@@ -1,0 +1,46 @@
+"""Fault injection, detection, and chaos tooling (ISSUE 8).
+
+Three layers:
+
+- :mod:`repro.faults.model` -- declarative :class:`FaultSpec` /
+  :class:`FaultSchedule` (what breaks, when, how badly);
+- :mod:`repro.faults.injector` -- :class:`FaultInjector` /
+  :func:`derive_degraded`: turn a schedule into degraded
+  :class:`~repro.runtime.cluster.ClusterSpec` + per-device slowdowns +
+  remapped routing, and drive the cluster simulator bit-identically;
+- :mod:`repro.faults.detector` -- :class:`StragglerDetector` (EWMA
+  persistent-degradation detection) feeding the trainer's
+  failure-aware re-planning, with :class:`FaultEvent` /
+  :class:`RecoveryEvent` telemetry.
+
+Plus :mod:`repro.faults.chaos`: seeded :class:`FlakyStore` /
+:class:`FlakyPlanner` wrappers for end-to-end serving chaos drills.
+
+See ``docs/RELIABILITY.md`` for the full fault model and the chaos
+harness walkthrough.
+"""
+
+from .chaos import FlakyPlanner, FlakyStore
+from .detector import FaultEvent, RecoveryEvent, StragglerDetector
+from .injector import (
+    DegradedCluster,
+    FaultInjector,
+    RemappedRoutingModel,
+    derive_degraded,
+)
+from .model import FAULT_KINDS, FaultSchedule, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "DegradedCluster",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FlakyPlanner",
+    "FlakyStore",
+    "RecoveryEvent",
+    "RemappedRoutingModel",
+    "StragglerDetector",
+    "derive_degraded",
+]

@@ -1,0 +1,195 @@
+"""EWMA straggler detection over observed per-device times.
+
+The trainer already reacts to *routing* drift (signature distance); this
+module gives it the second signal ISSUE 8 asks for: *persistent
+hardware degradation*, separated from transient noise.
+
+The detector keeps an exponentially-weighted moving average of each
+device's observed compute time and compares it to the median over the
+currently *unflagged* fleet (the healthy reference).  A device whose
+smoothed ratio stays above ``threshold`` for ``patience`` consecutive
+observations is flagged -- one slow step is routing noise, ``patience``
+slow steps is a sick device.  Flagged devices are excluded from the
+reference, so their estimated slowdown converges to the true multiplier
+instead of being diluted by their own contribution to the median.  A
+flagged device whose smoothed ratio falls back under
+``recovery_threshold`` is unflagged (fault cleared / node replaced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A device crossed the persistent-degradation threshold."""
+
+    step: int
+    device: int
+    #: estimated compute slowdown vs the healthy fleet (>= 1)
+    ratio: float
+    kind: str = "straggler"
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "device": self.device,
+            "ratio": self.ratio,
+            "kind": self.kind,
+        }
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """A previously flagged device returned to the healthy band."""
+
+    step: int
+    device: int
+    ratio: float
+
+    def to_dict(self) -> dict:
+        return {"step": self.step, "device": self.device, "ratio": self.ratio}
+
+
+class StragglerDetector:
+    """Flags persistent per-device compute degradation.
+
+    Parameters
+    ----------
+    num_devices:
+        Fleet size.
+    alpha:
+        EWMA weight of the newest observation (higher = faster reaction,
+        noisier).
+    threshold:
+        Smoothed time ratio vs the healthy median above which a device
+        counts as degraded (1.2 = 20% slower).
+    patience:
+        Consecutive above-threshold observations required to flag --
+        the transient-vs-persistent discriminator.
+    recovery_threshold:
+        Smoothed ratio below which a flagged device is considered
+        recovered (must be < ``threshold``: hysteresis).
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        *,
+        alpha: float = 0.5,
+        threshold: float = 1.2,
+        patience: int = 3,
+        recovery_threshold: float = 1.05,
+    ) -> None:
+        if num_devices < 2:
+            raise ValueError("straggler detection needs >= 2 devices")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if recovery_threshold >= threshold:
+            raise ValueError("recovery_threshold must sit below threshold")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.num_devices = num_devices
+        self.alpha = alpha
+        self.threshold = threshold
+        self.patience = patience
+        self.recovery_threshold = recovery_threshold
+        self._ewma: np.ndarray | None = None
+        self._last: np.ndarray | None = None
+        self._above = np.zeros(num_devices, dtype=np.int64)
+        self._flagged: set[int] = set()
+        self.observations = 0
+
+    @property
+    def flagged(self) -> tuple[int, ...]:
+        """Currently flagged devices, sorted."""
+        return tuple(sorted(self._flagged))
+
+    def _reference(self, values: np.ndarray) -> float:
+        healthy = [
+            d for d in range(self.num_devices) if d not in self._flagged
+        ]
+        ref = float(np.median(values[healthy])) if healthy else float(
+            np.median(values)
+        )
+        return ref
+
+    def observe(
+        self, step: int, device_times_ms
+    ) -> tuple[list[FaultEvent], list[RecoveryEvent]]:
+        """Feed one step's per-device observed compute times.
+
+        Returns the fault/recovery events this observation triggered
+        (usually both empty).
+        """
+        times = np.asarray(device_times_ms, dtype=np.float64)
+        if times.shape != (self.num_devices,):
+            raise ValueError(
+                f"expected {self.num_devices} device times, got {times.shape}"
+            )
+        if not (times > 0).all():
+            raise ValueError("device times must be positive")
+        self.observations += 1
+        self._last = times
+        if self._ewma is None:
+            self._ewma = times.copy()
+        else:
+            self._ewma = self.alpha * times + (1.0 - self.alpha) * self._ewma
+
+        ref = self._reference(self._ewma)
+        if ref <= 0:
+            return [], []
+        ratios = self._ewma / ref
+
+        faults: list[FaultEvent] = []
+        recoveries: list[RecoveryEvent] = []
+        for d in range(self.num_devices):
+            if d in self._flagged:
+                if ratios[d] <= self.recovery_threshold:
+                    self._flagged.discard(d)
+                    self._above[d] = 0
+                    recoveries.append(
+                        RecoveryEvent(step=step, device=d, ratio=float(ratios[d]))
+                    )
+                continue
+            if ratios[d] >= self.threshold:
+                self._above[d] += 1
+                if self._above[d] >= self.patience:
+                    self._flagged.add(d)
+                    faults.append(
+                        FaultEvent(
+                            step=step,
+                            device=d,
+                            ratio=self._estimate(d),
+                        )
+                    )
+            else:
+                self._above[d] = 0
+        return faults, recoveries
+
+    def _estimate(self, device: int) -> float:
+        """Slowdown estimate from the *latest* observation vs the healthy
+        reference -- unbiased by the EWMA's warm-up lag (with a constant
+        injected slowdown this recovers the true multiplier exactly)."""
+        assert self._last is not None
+        ref = self._reference(self._last)
+        if ref <= 0:
+            return 1.0
+        return max(1.0, float(self._last[device] / ref))
+
+    def slowdowns(self) -> dict[int, float]:
+        """Estimated slowdown multiplier of each flagged device."""
+        if self._last is None:
+            return {}
+        return {d: self._estimate(d) for d in sorted(self._flagged)}
+
+    def reset(self) -> None:
+        """Forget all state (new fleet / after a plan migration)."""
+        self._ewma = None
+        self._last = None
+        self._above[:] = 0
+        self._flagged.clear()
+        self.observations = 0

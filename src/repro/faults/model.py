@@ -1,0 +1,211 @@
+"""Declarative fault model: what breaks, when, and how badly.
+
+A :class:`FaultSpec` describes one fault; a :class:`FaultSchedule` is an
+ordered collection of them with step-indexed activation windows.  The
+schedule is pure data (JSON round-trippable, hashable) -- deriving the
+degraded cluster it implies is the job of
+:class:`~repro.faults.injector.FaultInjector`.
+
+Three fault kinds cover the failure modes that move a plan's timing
+assumptions (ISSUE 8 / MoNTA's worst-path argument):
+
+- ``straggler``: a persistent compute slowdown of one device (thermal
+  throttling, a sick HBM stack, a noisy neighbour).  ``severity`` is the
+  compute-time multiplier (>= 1).
+- ``nic_degrade``: one node's NIC bandwidth drops to ``severity`` (a
+  fraction in (0, 1]) of nominal.  Because every inter-node byte of the
+  2-hop exchange crosses some node's NIC and the collective completes
+  with the *worst* path, the whole cluster's effective inter-node
+  bandwidth degrades to the worst node's.
+- ``rank_loss``: a device drops out entirely.  Its data shard and its
+  experts are taken over by a surviving *buddy* rank (same node when
+  possible), which then carries double compute and the folded traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: the fault kinds the injector knows how to apply
+FAULT_KINDS = ("straggler", "nic_degrade", "rank_loss")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a target, a severity, and an activation window.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        Device rank (``straggler``, ``rank_loss``) or node index
+        (``nic_degrade``).
+    severity:
+        ``straggler``: compute-time multiplier, >= 1 (2.0 = half speed).
+        ``nic_degrade``: remaining bandwidth fraction in (0, 1]
+        (0.5 = half the NIC).  Ignored for ``rank_loss``.
+    start_step / end_step:
+        Half-open activation window ``[start_step, end_step)``;
+        ``end_step=None`` means the fault persists forever.
+    """
+
+    kind: str
+    target: int
+    severity: float = 2.0
+    start_step: int = 0
+    end_step: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.target < 0:
+            raise ValueError(f"fault target must be >= 0, got {self.target}")
+        if self.kind == "straggler" and self.severity < 1.0:
+            raise ValueError(
+                f"straggler severity is a slowdown multiplier >= 1, "
+                f"got {self.severity}"
+            )
+        if self.kind == "nic_degrade" and not 0.0 < self.severity <= 1.0:
+            raise ValueError(
+                f"nic_degrade severity is a remaining-bandwidth fraction "
+                f"in (0, 1], got {self.severity}"
+            )
+        if self.end_step is not None and self.end_step <= self.start_step:
+            raise ValueError(
+                f"empty fault window [{self.start_step}, {self.end_step})"
+            )
+
+    def active_at(self, step: int) -> bool:
+        """True when the fault is live at ``step``."""
+        if step < self.start_step:
+            return False
+        return self.end_step is None or step < self.end_step
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "severity": self.severity,
+            "start_step": self.start_step,
+            "end_step": self.end_step,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        return cls(
+            kind=d["kind"],
+            target=int(d["target"]),
+            severity=float(d.get("severity", 2.0)),
+            start_step=int(d.get("start_step", 0)),
+            end_step=None if d.get("end_step") is None else int(d["end_step"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of faults over training time.
+
+    ``active_at(step)`` is the contract the injector consumes: the tuple
+    of live faults, in schedule order (deterministic, so the derived
+    degraded cluster is deterministic too).
+    """
+
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # accept any iterable but store a hashable tuple
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def active_at(self, step: int) -> tuple[FaultSpec, ...]:
+        """The faults live at ``step``, in schedule order."""
+        return tuple(f for f in self.faults if f.active_at(step))
+
+    def transition_steps(self) -> tuple[int, ...]:
+        """Sorted steps at which the active fault set can change."""
+        steps = set()
+        for f in self.faults:
+            steps.add(f.start_step)
+            if f.end_step is not None:
+                steps.add(f.end_step)
+        return tuple(sorted(steps))
+
+    def to_dict(self) -> dict:
+        return {"faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSchedule":
+        return cls(tuple(FaultSpec.from_dict(f) for f in d.get("faults", ())))
+
+    @classmethod
+    def random(
+        cls,
+        num_gpus: int,
+        gpus_per_node: int,
+        *,
+        seed: int,
+        num_faults: int = 3,
+        horizon: int = 50,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        max_severity: float = 3.0,
+    ) -> "FaultSchedule":
+        """A seeded random schedule for chaos testing.
+
+        Deterministic in ``seed``; at least one surviving rank is always
+        guaranteed (rank losses are capped at ``num_gpus - 1`` distinct
+        ranks).  Windows are drawn inside ``[0, horizon)``; roughly half
+        the faults are persistent (no ``end_step``).
+        """
+        rng = np.random.default_rng(seed)
+        num_nodes = max(1, num_gpus // gpus_per_node)
+        faults: list[FaultSpec] = []
+        lost: set[int] = set()
+        for _ in range(num_faults):
+            kind = str(rng.choice(list(kinds)))
+            start = int(rng.integers(0, max(1, horizon - 1)))
+            end: int | None = None
+            if rng.random() < 0.5:
+                end = int(rng.integers(start + 1, horizon + 1))
+            if kind == "straggler":
+                faults.append(
+                    FaultSpec(
+                        kind,
+                        target=int(rng.integers(0, num_gpus)),
+                        severity=float(rng.uniform(1.3, max_severity)),
+                        start_step=start,
+                        end_step=end,
+                    )
+                )
+            elif kind == "nic_degrade":
+                faults.append(
+                    FaultSpec(
+                        kind,
+                        target=int(rng.integers(0, num_nodes)),
+                        severity=float(rng.uniform(0.25, 0.9)),
+                        start_step=start,
+                        end_step=end,
+                    )
+                )
+            else:  # rank_loss
+                if len(lost) >= num_gpus - 1:
+                    continue  # keep at least one survivor
+                target = int(rng.integers(0, num_gpus))
+                if target in lost:
+                    continue
+                lost.add(target)
+                faults.append(
+                    FaultSpec(
+                        kind, target=target, start_step=start, end_step=end
+                    )
+                )
+        return cls(tuple(faults))

@@ -221,6 +221,18 @@ class ClusterTimeline:
         of realized all-to-all durations under skewed routing)."""
         return [tl.total_time_of(ops, kind) for tl in self.devices]
 
+    def per_device_compute_ms(self) -> list[float]:
+        """Per-device compute-stream busy time (merged spans).
+
+        The straggler detector's natural input: a device with a
+        persistent compute slowdown shows up here regardless of how the
+        collectives mask it in the makespan.
+        """
+        return [
+            total_length(tl.stream_spans(Stream.COMPUTE))
+            for tl in self.devices
+        ]
+
     def imbalance_ms(self, ops: set[str] | None = None) -> float:
         """Max minus min per-device busy time of ``ops``: 0 for a
         perfectly SPMD-symmetric execution, > 0 under load skew."""

@@ -15,6 +15,12 @@ per-traffic-pattern serving argument of MoNTA, arXiv 2411.00662):
 - :func:`compile_many` -- one-shot batch compile with coalescing.
 - :class:`ServeResult` / :class:`HotSwapEvent` -- per-request and
   per-swap observability records.
+- **Graceful degradation** (``docs/RELIABILITY.md``) -- per-request
+  deadlines, planner timeouts with late-landing abandoned runs, bounded
+  retry over transient store I/O errors, a :class:`CircuitBreaker` on
+  the planner path, and a tiered fallback chain (exact -> nearest ->
+  stale -> baseline) so every request is answered even while the
+  planner or store is down.
 
 Typical usage::
 
@@ -34,6 +40,7 @@ deployment-shaped guide is ``docs/SERVING.md``.
 from .server import (
     DEFAULT_MAX_DISTANCE,
     NEAREST_PREDICTED_GAP_BOUND,
+    CircuitBreaker,
     HotSwapEvent,
     PlanServer,
     ServeResult,
@@ -43,6 +50,7 @@ from .server import (
 __all__ = [
     "DEFAULT_MAX_DISTANCE",
     "NEAREST_PREDICTED_GAP_BOUND",
+    "CircuitBreaker",
     "HotSwapEvent",
     "PlanServer",
     "ServeResult",

@@ -35,13 +35,32 @@ telemetry
     :class:`HotSwapEvent` recording the served-vs-exact predicted gap.
     :meth:`PlanServer.stats` merges server, memory-cache and store
     counters into one JSON-friendly snapshot (the ``serve stats`` CLI).
+
+graceful degradation (ISSUE 8; see ``docs/RELIABILITY.md``)
+    The request path never takes the service down with it.  Transient
+    store I/O errors are retried with bounded exponential backoff and
+    then degrade to a miss.  Planner runs are bounded by per-request
+    deadlines (``deadline_s``) and a planner timeout
+    (``planner_timeout_s``): a timed-out run is *abandoned but not
+    killed* -- it lands later as a late publish that warms the caches.
+    Repeated planner failures trip a :class:`CircuitBreaker`
+    (closed -> open -> half-open), and once it is open -- or a deadline
+    is blown -- requests are answered from a tiered fallback chain,
+    **exact -> nearest -> stale -> baseline**, instead of erroring:
+    the unbounded-radius *stale* tier serves any structurally valid
+    plan of the same base identity, and the *baseline* tier wraps the
+    unoptimized program in a plan, which is always constructible
+    without the planner.  ``ServeResult.origin`` names the tier that
+    answered.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 
 from ..api.codec import cluster_to_json, framework_to_json
@@ -67,15 +86,100 @@ DEFAULT_MAX_DISTANCE = 0.25
 NEAREST_PREDICTED_GAP_BOUND = 0.25
 
 
+class _PlannerTimeout(Exception):
+    """Internal: a planner run exceeded its time budget."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for the planner path.
+
+    ``closed`` until ``threshold`` consecutive failures, then ``open``
+    for ``cooldown_s``; after the cooldown one *half-open* trial run is
+    admitted -- success closes the breaker, failure re-opens it (and
+    restarts the cooldown).  Thread-safe; the :class:`PlanServer`
+    consults it before every cold planner run and serves the fallback
+    chain while it refuses.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._trial_inflight = False
+        #: times the breaker transitioned closed -> open
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._trial_inflight:
+                return "half_open"
+            elapsed = time.monotonic() - self._opened_at
+            return "half_open" if elapsed >= self.cooldown_s else "open"
+
+    def allow(self) -> bool:
+        """May a planner run proceed right now?
+
+        While open this returns False; once the cooldown elapses it
+        admits exactly one concurrent trial until that trial reports
+        success or failure.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._trial_inflight:
+                return False
+            if time.monotonic() - self._opened_at >= self.cooldown_s:
+                self._trial_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._trial_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            was_open = self._opened_at is not None
+            self._trial_inflight = False
+            if not was_open and self._failures >= self.threshold:
+                self._opened_at = time.monotonic()
+                self.trips += 1
+            elif was_open:
+                # failed half-open trial: re-open, restart the cooldown
+                self._opened_at = time.monotonic()
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "trips": self.trips,
+        }
+
+
 @dataclass
 class ServeResult:
     """One answered request: the plan plus how it was produced.
 
-    ``origin`` is one of ``"memory"`` (server memory cache),
-    ``"store"`` (exact store hit), ``"nearest"`` (neighboring-bucket
-    plan served while the exact re-plan runs in the background), or
-    ``"planned"`` (cold planner run).  Coalesced followers receive the
-    leader's result object unchanged.
+    ``origin`` names the tier that answered: ``"memory"`` (server
+    memory cache), ``"store"`` (exact store hit), ``"nearest"``
+    (neighboring-bucket plan served while the exact re-plan runs in
+    the background), ``"planned"`` (cold planner run), ``"stale"``
+    (degraded mode: closest same-identity plan at *unbounded* signature
+    distance), or ``"baseline"`` (degraded mode: the unoptimized
+    program wrapped in a plan -- the tier of last resort, always
+    constructible).  Coalesced followers receive the leader's result
+    object unchanged.
     """
 
     plan: Plan
@@ -84,6 +188,10 @@ class ServeResult:
     #: bucket distance of a nearest-signature answer (else ``None``)
     distance: float | None = None
     latency_s: float = 0.0
+    #: why a degraded tier answered: ``"deadline"``,
+    #: ``"planner_timeout"``, ``"planner_error"``, or ``"breaker_open"``
+    #: (``None`` on the healthy tiers)
+    reason: str | None = None
 
 
 @dataclass
@@ -135,6 +243,30 @@ class PlanServer:
         (:data:`DEFAULT_MAX_DISTANCE`).
     check:
         Validate the IR after planner passes (forwarded to the planner).
+    planner:
+        The planner callable (``plan_resolved``-compatible).  ``None``
+        uses :func:`repro.api.compiler.plan_resolved`; the chaos
+        harness injects :class:`repro.faults.FlakyPlanner` here.
+    deadline_s:
+        Default per-request deadline (seconds).  A request that cannot
+        reach the planner before its deadline is answered from the
+        fallback chain instead of waiting.  ``None`` = no deadline.
+    planner_timeout_s:
+        Budget for one cold planner run.  A run exceeding it is
+        abandoned (the request falls back) but allowed to finish in the
+        background, landing as a late publish.  ``None`` = unbounded.
+    store_retries / retry_backoff_s:
+        Transient ``OSError`` from store I/O is retried up to
+        ``store_retries`` times with exponential backoff starting at
+        ``retry_backoff_s`` (then degrades to a miss).
+    breaker_threshold / breaker_cooldown_s:
+        :class:`CircuitBreaker` configuration: consecutive planner
+        failures before opening, and the open-state cooldown before a
+        half-open trial.
+    fallback:
+        Enable the degraded serving tiers (stale / baseline).  When
+        False, deadline misses, planner timeouts, and breaker-refused
+        requests raise instead.
     """
 
     def __init__(
@@ -148,6 +280,14 @@ class PlanServer:
         nearest: bool = True,
         max_distance: float = DEFAULT_MAX_DISTANCE,
         check: bool = True,
+        planner=None,
+        deadline_s: float | None = None,
+        planner_timeout_s: float | None = None,
+        store_retries: int = 2,
+        retry_backoff_s: float = 0.01,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        fallback: bool = True,
     ) -> None:
         self.store = store
         self.policy = policy or PlanPolicy()
@@ -155,12 +295,22 @@ class PlanServer:
         self.nearest = nearest
         self.max_distance = max_distance
         self.check = check
+        self._planner = planner
+        self.deadline_s = deadline_s
+        self.planner_timeout_s = planner_timeout_s
+        self.store_retries = store_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.fallback = fallback
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="plan-server"
         )
         self._lock = threading.Lock()
         #: request key -> in-flight Future[ServeResult]; also holds
-        #: background hot-swap re-plans under "swap:<key>"
+        #: background hot-swap re-plans under "swap:<key>" and abandoned
+        #: timed-out planner runs under "late:<key>"
         self._inflight: dict[str, Future] = {}
         self._memory = (
             LRUCache(memory_cache_size, name="server-memory")
@@ -178,6 +328,17 @@ class PlanServer:
             "hot_swaps": 0,
             "published": 0,
             "errors": 0,
+            # degraded-mode telemetry (ISSUE 8)
+            "deadline_hits": 0,
+            "planner_timeouts": 0,
+            "planner_failures": 0,
+            "late_plans": 0,
+            "store_retries": 0,
+            "store_errors": 0,
+            "put_errors": 0,
+            "breaker_short_circuits": 0,
+            "stale_hits": 0,
+            "baseline_plans": 0,
         }
         #: completed hot swaps, in completion order
         self.events: list[HotSwapEvent] = []
@@ -229,6 +390,7 @@ class PlanServer:
         policy: PlanPolicy | None = None,
         signatures: dict | None = None,
         framework: FrameworkProfile | None = None,
+        deadline_s: float | None = None,
     ) -> Future:
         """Enqueue one request; returns a ``Future[ServeResult]``.
 
@@ -236,11 +398,20 @@ class PlanServer:
         synchronously here, so every submission after the first --
         regardless of worker scheduling -- subscribes to the in-flight
         run instead of starting its own.
+
+        ``deadline_s`` (default: the server's ``deadline_s``) bounds how
+        long this request may wait on a cold planner run before it is
+        answered from the fallback chain instead.
         """
         if self._closed:
             raise RuntimeError("PlanServer is closed")
         policy = policy or self.policy
         framework = framework or self.framework
+        if deadline_s is None:
+            deadline_s = self.deadline_s
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
         key = self.request_key(workload, cluster, policy, signatures, framework)
         with self._lock:
             self.counters["requests"] += 1
@@ -268,6 +439,7 @@ class PlanServer:
             policy,
             signatures,
             framework,
+            deadline,
         )
         return future
 
@@ -287,12 +459,13 @@ class PlanServer:
     # -- worker side ---------------------------------------------------------
 
     def _serve_into(
-        self, future, key, workload, cluster, policy, signatures, framework
+        self, future, key, workload, cluster, policy, signatures, framework,
+        deadline=None,
     ) -> None:
         t0 = time.perf_counter()
         try:
             result = self._lookup_or_plan(
-                key, workload, cluster, policy, signatures, framework
+                key, workload, cluster, policy, signatures, framework, deadline
             )
             result.latency_s = time.perf_counter() - t0
         except BaseException as err:
@@ -304,23 +477,64 @@ class PlanServer:
         with self._lock:
             # nearest answers were cached before their hot swap was
             # spawned (the swap's exact plan must never be overwritten
-            # by the staler neighbor); everything else is cached here
-            if self._memory is not None and result.origin != "nearest":
+            # by the staler neighbor); degraded-tier answers (stale /
+            # baseline) must not poison the warm path -- each such
+            # request re-walks the ladder until a real plan lands;
+            # everything else is cached here
+            if self._memory is not None and result.origin not in (
+                "nearest", "stale", "baseline"
+            ):
                 self._memory.put(key, result.plan)
             self._inflight.pop(key, None)
         future.set_result(result)
 
     def _store_lookup(self, lookup, *args, **kwargs):
-        """A store problem (corrupt entry, foreign schema) must degrade
-        to a miss, not take the serving path down -- the planner always
-        works and its ``put`` replaces the bad entry."""
-        try:
-            return lookup(*args, **kwargs)
-        except PlanError:
-            return None
+        """A store problem must degrade to a miss, not take the serving
+        path down.
+
+        Corrupt entries / foreign schemas (:class:`PlanError`) degrade
+        immediately -- the planner's ``put`` replaces the bad entry.
+        Transient I/O errors (``OSError``) are retried up to
+        ``store_retries`` times with exponential backoff starting at
+        ``retry_backoff_s``, then degrade to a miss too.
+        """
+        delay = self.retry_backoff_s
+        for attempt in range(self.store_retries + 1):
+            try:
+                return lookup(*args, **kwargs)
+            except PlanError:
+                return None
+            except OSError:
+                if attempt == self.store_retries:
+                    with self._lock:
+                        self.counters["store_errors"] += 1
+                    return None
+                with self._lock:
+                    self.counters["store_retries"] += 1
+                time.sleep(delay)
+                delay *= 2.0
+
+    def _store_put(self, plan, index_scenario: bool = False) -> None:
+        """Publish with the same bounded retry; a store that cannot be
+        written must not fail the request that produced the plan."""
+        delay = self.retry_backoff_s
+        for attempt in range(self.store_retries + 1):
+            try:
+                self.store.put(plan, index_scenario=index_scenario)
+                return
+            except OSError:
+                if attempt == self.store_retries:
+                    with self._lock:
+                        self.counters["put_errors"] += 1
+                    return
+                with self._lock:
+                    self.counters["store_retries"] += 1
+                time.sleep(delay)
+                delay *= 2.0
 
     def _lookup_or_plan(
-        self, key, workload, cluster, policy, signatures, framework
+        self, key, workload, cluster, policy, signatures, framework,
+        deadline=None,
     ) -> ServeResult:
         # 1. scenario fast path: warm answer without building a graph
         scenario_pure = (
@@ -382,18 +596,185 @@ class PlanServer:
                     plan=neighbor, origin="nearest", key=key, distance=distance
                 )
 
-        # 4. cold: run the planner and publish
+        # 4. cold: run the planner and publish -- unless the deadline is
+        # already blown or the circuit breaker refuses, in which case the
+        # degraded tiers (stale -> baseline) answer instead of erroring
         with self._lock:
             self.counters["misses"] += 1
-        plan = self._plan_and_publish(resolved)
-        return ServeResult(plan=plan, origin="planned", key=key)
+        reason = None
+        if deadline is not None and time.monotonic() >= deadline:
+            with self._lock:
+                self.counters["deadline_hits"] += 1
+            reason = "deadline"
+        elif not self.breaker.allow():
+            with self._lock:
+                self.counters["breaker_short_circuits"] += 1
+            reason = "breaker_open"
+        else:
+            try:
+                plan = self._plan_with_budget(key, resolved, deadline)
+                return ServeResult(plan=plan, origin="planned", key=key)
+            except _PlannerTimeout:
+                with self._lock:
+                    self.counters["planner_timeouts"] += 1
+                self.breaker.record_failure()
+                reason = "planner_timeout"
+            except Exception:
+                # planner failures raise (pre-ISSUE-8 semantics) until
+                # repeated failures open the breaker; the breaker state
+                # was already updated by _plan_and_publish
+                with self._lock:
+                    self.counters["planner_failures"] += 1
+                if not self.fallback:
+                    raise
+                if self.breaker.state == "closed":
+                    raise
+                reason = "planner_error"
+        if not self.fallback:
+            raise PlanError(f"planner unavailable ({reason}) for {key}")
+        return self._serve_degraded(key, resolved, reason)
 
     def _plan_and_publish(self, resolved) -> Plan:
-        plan = plan_resolved(resolved, check=self.check)
+        planner = self._planner if self._planner is not None else plan_resolved
+        try:
+            plan = planner(resolved, check=self.check)
+        except BaseException:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
         with self._lock:
             self.counters["planner_runs"] += 1
-        self.store.put(plan, index_scenario=resolved.scenario_pure)
+        self._store_put(plan, index_scenario=resolved.scenario_pure)
         return plan
+
+    def _plan_with_budget(self, key, resolved, deadline) -> Plan:
+        """One cold planner run, bounded by the request deadline and the
+        server's planner timeout.
+
+        Without a budget this is a plain in-worker run.  With one, the
+        run happens on a dedicated thread the worker waits on: on
+        timeout the run is *abandoned* (raises :class:`_PlannerTimeout`
+        so the request falls back) but keeps going in the background --
+        its plan lands in the store and memory cache as a late publish
+        (``late_plans``), healing subsequent requests.
+        """
+        budget = self.planner_timeout_s
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            budget = remaining if budget is None else min(budget, remaining)
+        if budget is None:
+            return self._plan_and_publish(resolved)
+        if budget <= 0:
+            raise _PlannerTimeout(key)
+
+        done: Future = Future()
+        late_key = f"late:{key}"
+        with self._lock:
+            self._inflight[late_key] = done
+        abandoned = threading.Event()
+
+        def run() -> None:
+            try:
+                plan = self._plan_and_publish(resolved)
+            except BaseException as err:
+                with self._lock:
+                    if abandoned.is_set():
+                        self.counters["errors"] += 1
+                    self._inflight.pop(late_key, None)
+                done.set_exception(err)
+                if abandoned.is_set():
+                    done.exception()  # consumed: nobody awaits a late run
+                return
+            with self._lock:
+                if abandoned.is_set():
+                    self.counters["late_plans"] += 1
+                    if self._memory is not None:
+                        self._memory.put(key, plan)
+                self._inflight.pop(late_key, None)
+            done.set_result(plan)
+
+        threading.Thread(
+            target=run, name="plan-server-timed", daemon=True
+        ).start()
+        try:
+            return done.result(timeout=budget)
+        except FuturesTimeout:
+            abandoned.set()
+            raise _PlannerTimeout(key) from None
+
+    # -- degraded serving tiers (ISSUE 8) -------------------------------------
+
+    def _serve_degraded(self, key, resolved, reason) -> ServeResult:
+        """The stale -> baseline tail of the fallback chain.
+
+        Reached only after the healthy tiers (memory, exact store,
+        nearest-within-radius) missed and the planner was unavailable
+        (deadline blown, run timed out, repeated failures).  Never
+        raises: the baseline tier is always constructible.
+        """
+        stale = self._store_lookup(
+            self.store.nearest,
+            resolved.fingerprint,
+            resolved.cluster,
+            resolved.policy,
+            resolved.framework,
+            resolved.signatures,
+            math.inf,
+        )
+        if stale is not None:
+            plan, distance = stale
+            with self._lock:
+                self.counters["stale_hits"] += 1
+            if reason == "deadline" and self.breaker.state == "closed":
+                # the planner is healthy, only this request ran out of
+                # time: heal the bucket in the background
+                self._spawn_hot_swap(key, resolved, plan, distance)
+            return ServeResult(
+                plan=plan,
+                origin="stale",
+                key=key,
+                distance=distance,
+                reason=reason,
+            )
+        with self._lock:
+            self.counters["baseline_plans"] += 1
+        plan = self._baseline_plan(resolved, reason)
+        if reason == "deadline" and self.breaker.state == "closed":
+            self._spawn_hot_swap(key, resolved, plan, None)
+        return ServeResult(plan=plan, origin="baseline", key=key, reason=reason)
+
+    def _baseline_plan(self, resolved, reason) -> Plan:
+        """Tier of last resort: the unoptimized program as a plan.
+
+        No optimizer involved, so this works while the planner is down;
+        the prediction comes from the plain simulator (best-effort).
+        The result is *never* written to the store or memory cache --
+        an unoptimized plan must not be mistaken for a planned one.
+        """
+        program = resolved.program
+        predicted = 0.0
+        try:
+            from ..runtime.simulate import SimulationConfig, simulate_program
+
+            predicted = simulate_program(
+                program,
+                config=SimulationConfig(
+                    cluster=resolved.cluster, framework=resolved.framework
+                ),
+            ).makespan
+        except Exception:
+            pass  # a missing prediction must not fail the last resort
+        return Plan(
+            program=program,
+            cluster=resolved.cluster,
+            policy=resolved.policy,
+            fingerprint=resolved.fingerprint,
+            predicted_iteration_ms=predicted,
+            framework=resolved.framework,
+            signatures=resolved.signatures,
+            scenario=resolved.scenario,
+            meta={"baseline": True, "fallback_reason": reason},
+        )
 
     # -- background hot swap -------------------------------------------------
 
@@ -454,7 +835,7 @@ class PlanServer:
         :class:`~repro.train.ReoptimizingTrainer` re-plan) through the
         server: written to the shared store and installed in the memory
         cache, so subsequent requests for its identity are warm."""
-        self.store.put(plan, index_scenario=index_scenario)
+        self._store_put(plan, index_scenario=index_scenario)
         key = self.store.key_for(
             plan.fingerprint,
             plan.cluster,
@@ -508,6 +889,7 @@ class PlanServer:
         with self._lock:
             snapshot = {
                 "server": dict(self.counters),
+                "breaker": self.breaker.snapshot(),
                 "memory": self._memory.stats() if self._memory else None,
                 "store": dict(self.store.stats),
                 "store_entries": len(self.store),

@@ -181,6 +181,44 @@ class ReoptimizationEvent:
     store_hit: bool = False
 
 
+@dataclass
+class FaultReplanEvent:
+    """Record of one failure-aware re-plan (fault onset or recovery).
+
+    Unlike :class:`ReoptimizationEvent` (routing drift: same cluster,
+    new signatures), a fault re-plan retargets the *cluster model*
+    itself -- and installing the new schedule is a priced decision:
+    migrating redistributes parameters, so the steady-state win over
+    :attr:`~ReoptimizingTrainer.migration_horizon_steps` iterations
+    must beat the one-off :attr:`migration_cost_ms`.
+    """
+
+    step: int
+    #: what triggered the re-plan: ``"fault"`` or ``"recovery"``
+    trigger: str
+    #: estimated per-device slowdowns the re-plan targeted
+    #: (``{}`` = fully recovered, re-planning back to nominal)
+    slowdowns: dict
+    #: name of the :class:`~repro.runtime.cluster.ClusterSpec` the new
+    #: plan was compiled against
+    cluster: str
+    #: predicted iteration time of the *old* schedule on that cluster
+    predicted_stale_ms: float
+    #: predicted iteration time of the re-planned schedule on it
+    predicted_ms: float
+    #: one-off migration cost (parameter redistribution, priced as one
+    #: full all-reduce of the parameters on the target cluster)
+    migration_cost_ms: float
+    #: whether the new schedule was installed (win beat migration cost)
+    migrated: bool
+    wall_seconds: float
+
+    @property
+    def win_ms(self) -> float:
+        """Steady-state per-iteration win of the re-planned schedule."""
+        return self.predicted_stale_ms - self.predicted_ms
+
+
 class ReoptimizingTrainer(Trainer):
     """Trainer that re-plans the schedule as the routing shifts.
 
@@ -223,6 +261,20 @@ class ReoptimizingTrainer(Trainer):
         memory cache (and hence every other client of that server) is
         warm for the new signature bucket the moment the re-plan lands.
         Implies ``store=server.store`` when no store is given.
+    fault_detector:
+        Optional :class:`~repro.faults.StragglerDetector`.  Feed it
+        observed per-device compute times via
+        :meth:`observe_device_times`; when it flags a *persistent*
+        degradation (as opposed to the transient routing drift the
+        drift loop handles), the trainer re-plans against the degraded
+        :class:`~repro.runtime.cluster.ClusterSpec` and prices the
+        migration before swapping schedules.  ``None`` (the default)
+        disables fault handling entirely -- the fault-free path is
+        bit-identical to a trainer without this feature.
+    migration_horizon_steps:
+        How many future iterations a fault re-plan is amortized over
+        when pricing migration: the new schedule is installed iff
+        ``win_ms * migration_horizon_steps > migration_cost_ms``.
     """
 
     def __init__(
@@ -238,8 +290,19 @@ class ReoptimizingTrainer(Trainer):
         plan: Plan | None = None,
         store=None,
         server=None,
+        fault_detector=None,
+        migration_horizon_steps: int = 50,
     ) -> None:
         self.optimizer = optimizer
+        #: the healthy-cluster optimizer; :attr:`optimizer` is swapped
+        #: to a degraded-target twin while a fault is flagged and back
+        #: here on recovery
+        self._nominal_optimizer = optimizer
+        self.fault_detector = fault_detector
+        self.migration_horizon_steps = migration_horizon_steps
+        self.fault_events: list = []
+        self.recovery_events: list = []
+        self.fault_replans: list[FaultReplanEvent] = []
         self.drift_threshold = drift_threshold
         self.cache_digits = cache_digits
         self.server = server
@@ -427,7 +490,11 @@ class ReoptimizingTrainer(Trainer):
         if drift <= self.drift_threshold or not self._observed:
             return result
         key = self._signature_key()
-        cached = self._plan_cache.get(key)
+        # cache keys carry the active planning target: a schedule
+        # compiled for a degraded cluster must never be served once the
+        # trainer has re-targeted the healthy one (and vice versa)
+        cache_key = (self.optimizer.cluster.name,) + key
+        cached = self._plan_cache.get(cache_key)
         warm = False
         store_hit = False
         if cached is not None:
@@ -452,7 +519,7 @@ class ReoptimizingTrainer(Trainer):
                 predicted = report.predicted_iteration_ms
                 warm = report.warm_planned
                 self._store_put(program, report)
-            self._plan_cache.put(key, (program, predicted))
+            self._plan_cache.put(cache_key, (program, predicted))
         self._install_program(program, predicted)
         self.plan_signatures = dict(self._observed)
         self.events.append(
@@ -468,6 +535,122 @@ class ReoptimizingTrainer(Trainer):
             )
         )
         return result
+
+    # -- failure-aware re-planning ---------------------------------------------
+
+    def observe_device_times(self, device_times_ms) -> list[FaultReplanEvent]:
+        """Feed one step's observed per-device compute times (e.g.
+        :meth:`~repro.runtime.timeline.ClusterTimeline
+        .per_device_compute_ms`) to the straggler detector.
+
+        Transient blips are absorbed by the detector's EWMA + patience;
+        only *persistent* degradation (or recovery from one) triggers a
+        fault re-plan.  Returns the :class:`FaultReplanEvent` records of
+        any re-plans this observation triggered (usually empty).
+        """
+        if self.fault_detector is None:
+            raise ValueError(
+                "no fault_detector configured; pass a StragglerDetector "
+                "to ReoptimizingTrainer(fault_detector=...)"
+            )
+        step = max(0, len(self.history) - 1)
+        faults, recoveries = self.fault_detector.observe(
+            step, device_times_ms
+        )
+        self.fault_events.extend(faults)
+        self.recovery_events.extend(recoveries)
+        if not faults and not recoveries:
+            return []
+        trigger = "fault" if faults else "recovery"
+        return [self._fault_replan(step, trigger, faults, recoveries)]
+
+    def _optimizer_for(self, cluster):
+        """A twin of the nominal optimizer targeting another cluster
+        (same ablation switches and hyper-params -- the plan-store
+        policy identity must survive the retarget)."""
+        from ..core.lancet import LancetOptimizer
+
+        base = self._nominal_optimizer
+        return LancetOptimizer(
+            cluster,
+            framework=base.framework,
+            hyper_params=base.hyper_params,
+            enable_dw_schedule=base.enable_dw_schedule,
+            enable_partition=base.enable_partition,
+            defer_allreduce=base.defer_allreduce,
+            enable_hierarchical_a2a=base.enable_hierarchical_a2a,
+        )
+
+    def _fault_replan(
+        self, step: int, trigger: str, faults, recoveries
+    ) -> FaultReplanEvent:
+        """Re-plan against the currently-estimated cluster health and
+        install the new schedule iff the migration prices in."""
+        from ..faults.injector import derive_degraded
+        from ..faults.model import FaultSpec
+        from ..runtime.simulate import SimulationConfig, simulate_program
+
+        slowdowns = self.fault_detector.slowdowns()
+        if slowdowns:
+            degraded = derive_degraded(
+                self._nominal_optimizer.cluster,
+                [
+                    FaultSpec("straggler", target=d, severity=s)
+                    for d, s in sorted(slowdowns.items())
+                ],
+            )
+            target = self._optimizer_for(degraded.plan_spec)
+        else:
+            target = self._nominal_optimizer
+        # re-target drift re-planning (and its store/cache identity) at
+        # the current health immediately; the *schedule* swap below is
+        # the part migration pricing gates
+        self.optimizer = target
+
+        t0 = time.perf_counter()
+        target.set_routing_signatures(dict(self._observed) or None)
+        program, report = target.optimize(self.graph)
+        wall = time.perf_counter() - t0
+
+        # price the migration: steady-state per-iteration win of the new
+        # schedule on the target cluster vs a one-off parameter
+        # redistribution (one full all-reduce of the parameters)
+        sim = SimulationConfig(
+            cluster=target.cluster, framework=target.framework
+        )
+        stale_ms = simulate_program(self.program, config=sim).makespan
+        new_ms = simulate_program(program, config=sim).makespan
+        param_bytes = float(
+            sum(self.program.type_of(p).nbytes for p in self.program.params)
+        )
+        migration_cost_ms = target.cluster.allreduce_time_ms(param_bytes)
+        win = stale_ms - new_ms
+        migrated = win * self.migration_horizon_steps > migration_cost_ms
+        if migrated:
+            report.fault_context = {
+                "trigger": trigger,
+                "step": step,
+                "fault_events": [e.to_dict() for e in faults],
+                "recovery_events": [e.to_dict() for e in recoveries],
+                "slowdowns": {str(d): s for d, s in sorted(slowdowns.items())},
+                "cluster": target.cluster.name,
+            }
+            self._install_program(program, report.predicted_iteration_ms)
+            self.plan_signatures = dict(self._observed)
+            self._store_put(program, report)
+        event = FaultReplanEvent(
+            step=step,
+            trigger=trigger,
+            slowdowns=dict(sorted(slowdowns.items())),
+            cluster=target.cluster.name,
+            predicted_stale_ms=stale_ms,
+            predicted_ms=new_ms,
+            migration_cost_ms=migration_cost_ms,
+            migrated=migrated,
+            wall_seconds=wall,
+        )
+        self.fault_replans.append(event)
+        return event
 
     def _install_program(self, program: Program, predicted_ms: float) -> None:
         """Swap in a re-optimized schedule.  Lancet's rewrites are

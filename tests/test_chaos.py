@@ -1,0 +1,73 @@
+"""End-to-end chaos drills (``pytest -m chaos``; excluded from tier-1).
+
+These run the same seeded drills as the CI chaos job's benchmark gate
+(``benchmarks/bench_fault_recovery.py``) but assert the reliability
+contracts directly, so a chaos regression points at the broken layer
+(injector fidelity / trainer recovery / server degradation) rather than
+at a diffed metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fault_recovery
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    return fault_recovery.run(
+        store_root=tmp_path_factory.mktemp("chaos-store")
+    )
+
+
+def test_injector_is_bit_identical_under_chaos(result):
+    injector = result.notes["injector"]
+    assert injector["mismatched_timelines"] == 0
+    assert injector["faulted_steps"] > 0
+    assert set(injector["kinds_seen"]) == {
+        "straggler", "nic_degrade", "rank_loss"
+    }
+
+
+def test_trainer_detects_and_recovers(result):
+    trainer = result.notes["trainer"]
+    assert 0 <= trainer["detection_latency_steps"] <= 5
+    assert trainer["estimated_slowdown"] == pytest.approx(
+        trainer["injected_slowdown"], rel=0.05
+    )
+    assert trainer["recovery_gap"] <= 0.10
+    assert trainer["back_to_nominal"]
+
+
+def test_every_request_answered_under_chaos(result):
+    server = result.notes["server"]
+    counters = server["counters"]
+    assert server["unanswered"] == 0
+    assert counters["errors"] == 0
+    # the whole degradation ladder fired
+    assert counters["deadline_hits"] > 0
+    assert counters["planner_timeouts"] > 0
+    assert counters["breaker_short_circuits"] > 0
+    assert counters["stale_hits"] > 0
+    assert counters["baseline_plans"] > 0
+    assert counters["late_plans"] > 0
+    assert server["breaker"]["state"] == "closed"  # healed by the end
+
+
+def test_chaos_seeds_are_reproducible(tmp_path):
+    a = fault_recovery.run(
+        num_schedules=2, steps_per_schedule=10, trainer_steps=16,
+        seed=42, store_root=tmp_path / "a",
+    )
+    b = fault_recovery.run(
+        num_schedules=2, steps_per_schedule=10, trainer_steps=16,
+        seed=42, store_root=tmp_path / "b",
+    )
+    assert a.notes["injector"] == b.notes["injector"]
+    assert a.notes["trainer"] == b.notes["trainer"]
+    # the server drill's latencies are wall-clock, but its decision
+    # counters are seed-deterministic
+    assert a.notes["server"]["origins"] == b.notes["server"]["origins"]

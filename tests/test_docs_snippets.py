@@ -28,7 +28,9 @@ def python_blocks(path: pathlib.Path) -> list[str]:
     return check_docs.python_blocks(path)
 
 
-@pytest.mark.parametrize("doc", ["API.md", "TUTORIAL.md", "SERVING.md"])
+@pytest.mark.parametrize(
+    "doc", ["API.md", "TUTORIAL.md", "SERVING.md", "RELIABILITY.md"]
+)
 def test_doc_snippets_execute(doc):
     path = DOCS / doc
     blocks = python_blocks(path)
@@ -45,7 +47,13 @@ def test_doc_snippets_execute(doc):
 
 def test_docs_exist_and_are_linked():
     """The documentation suite is present and indexed from the README."""
-    for name in ("API.md", "TUTORIAL.md", "SERVING.md", "ARCHITECTURE.md"):
+    for name in (
+        "API.md",
+        "TUTORIAL.md",
+        "SERVING.md",
+        "ARCHITECTURE.md",
+        "RELIABILITY.md",
+    ):
         assert (DOCS / name).exists(), f"docs/{name} missing"
     readme = (DOCS.parent / "README.md").read_text()
     for name in (
@@ -53,5 +61,6 @@ def test_docs_exist_and_are_linked():
         "docs/TUTORIAL.md",
         "docs/SERVING.md",
         "docs/ARCHITECTURE.md",
+        "docs/RELIABILITY.md",
     ):
         assert name in readme, f"README does not link {name}"

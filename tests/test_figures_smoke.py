@@ -14,6 +14,7 @@ from repro.bench.figures import fig02, fig06, fig11, fig13, fig14, fig15, imbala
 class TestRegistry:
     def test_all_paper_figures_covered(self):
         assert set(ALL_FIGURES) == {
+            "faults",
             "fig02",
             "fig06",
             "fig11",
