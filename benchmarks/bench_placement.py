@@ -1,0 +1,54 @@
+"""Placement-optimizer gate: differential agreement + hot-expert wins.
+
+Runs the three seeded placement drills (``repro.bench.figures
+.placement``) and asserts the documented quality contracts directly, on
+top of the baseline-diffed regression metrics:
+
+1. **Differential agreement** -- on every exhaustively enumerable
+   config, the greedy optimizer's bottleneck stays within the
+   documented :data:`~repro.placement.GREEDY_BOUND` of brute force:
+   zero mismatches beyond the bound, ever.
+2. **Hot-expert wins** -- on every multi-node grid point the optimizer
+   beats the identity layout by at least the documented target
+   (mean over seeds), the headline "placement flattens the NIC
+   bottleneck" claim.
+3. **Priced migration replay** -- over the recorded drift trace, the
+   adaptive trajectory (weight-transfer costs included) performs at
+   least one migration and lands strictly cheaper than staying on the
+   identity layout.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import placement
+from repro.placement import GREEDY_BOUND
+
+
+def test_placement(benchmark):
+    result = run_figure(benchmark, placement.run)
+    differential = result.notes["differential"]
+    hot = result.notes["hot_grid"]
+    replay = result.notes["replay"]
+
+    # contract 1: the greedy bound is a contract, not a target
+    assert differential["mismatches_beyond_bound"] == 0
+    assert differential["runs"] >= 20
+    assert differential["worst_ratio"] <= GREEDY_BOUND + 1e-9
+    # most enumerable configs should agree exactly, not just within bound
+    assert differential["exact_matches"] >= differential["runs"] // 2
+
+    # contract 2: every grid point clears the improvement target
+    assert hot["min_improvement"] >= hot["target"], (
+        f"worst grid point improved only "
+        f"{hot['min_improvement'] * 100:.1f}% "
+        f"(target {hot['target'] * 100:.0f}%)"
+    )
+    assert all(p["mean_improvement"] > 0 for p in hot["points"])
+
+    # contract 3: priced migrations pay for themselves on the trace
+    assert replay["migrations"] >= 1
+    assert replay["total_adaptive_ms"] < replay["total_identity_ms"]
+    assert replay["improvement"] > 0.05
+    # the pricing rule is conservative: decisions were considered but
+    # only profitable ones executed
+    assert replay["decisions"] >= replay["migrations"]

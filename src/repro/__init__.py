@@ -28,7 +28,7 @@ composes them)::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .api import (
     Plan,
@@ -69,6 +69,12 @@ from .faults import (
     StragglerDetector,
     derive_degraded,
 )
+from .placement import (
+    ExpertPlacement,
+    MigrationEvent,
+    PlacementOptimizer,
+    PlacementResult,
+)
 from .serving import HotSwapEvent, PlanServer, ServeResult, compile_many
 from .train import ReoptimizingTrainer, Trainer
 
@@ -81,6 +87,7 @@ __all__ = [
     "ClusterTimeline",
     "FaultInjector",
     "FaultSchedule",
+    "ExpertPlacement",
     "FaultSpec",
     "GPT2MoEConfig",
     "HotSwapEvent",
@@ -88,6 +95,7 @@ __all__ = [
     "LancetHyperParams",
     "LancetOptimizer",
     "LancetReport",
+    "MigrationEvent",
     "ModelGraph",
     "OperatorPartitionPass",
     "PassManager",
@@ -95,6 +103,8 @@ __all__ = [
     "PlanError",
     "PlanPolicy",
     "PlanSchemaError",
+    "PlacementOptimizer",
+    "PlacementResult",
     "PlanServer",
     "PlanStore",
     "Program",

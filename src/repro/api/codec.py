@@ -39,15 +39,28 @@ def signature_to_json(sig: RoutingSignature) -> dict:
     obj = {"load": list(sig.load), "mean_send_bytes": sig.mean_send_bytes}
     if sig.hier_load is not None:
         obj["hier_load"] = list(sig.hier_load)
+    if sig.expert_counts is not None:
+        # count provenance (what makes a signature placement-remappable)
+        # must survive the round-trip: a trainer-published plan's
+        # signatures compare equal after reload
+        obj["expert_counts"] = [list(row) for row in sig.expert_counts]
+        obj["bytes_per_token"] = sig.bytes_per_token
     return obj
 
 
 def signature_from_json(obj: dict) -> RoutingSignature:
     hier = obj.get("hier_load")
+    counts = obj.get("expert_counts")
     return RoutingSignature(
         load=tuple(float(v) for v in obj["load"]),
         mean_send_bytes=float(obj.get("mean_send_bytes", 0.0)),
         hier_load=tuple(float(v) for v in hier) if hier is not None else None,
+        expert_counts=(
+            tuple(tuple(float(v) for v in row) for row in counts)
+            if counts is not None
+            else None
+        ),
+        bytes_per_token=float(obj.get("bytes_per_token", 0.0)),
     )
 
 

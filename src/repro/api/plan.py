@@ -51,8 +51,9 @@ from .scenario import Scenario
 PLAN_SCHEMA = "repro.api/plan"
 
 #: schema version of plan artifacts; bump the major on any breaking
-#: layout change -- loaders refuse mismatched majors
-PLAN_SCHEMA_VERSION = "1.0"
+#: layout change -- loaders refuse mismatched majors (1.1 added the
+#: optional "placement" section; placement-less documents are unchanged)
+PLAN_SCHEMA_VERSION = "1.1"
 
 
 class PlanError(Exception):
@@ -162,7 +163,9 @@ class Plan:
         planner: dict | None = None,
         meta: dict | None = None,
         report=None,
+        placement=None,
     ) -> None:
+        from ..placement import normalize_placement
         if (program is None) == (program_json is None):
             raise ValueError("exactly one of program / program_json required")
         self._program = program
@@ -177,6 +180,11 @@ class Plan:
         #: per-MoE-layer routing signatures the plan was conditioned on
         #: (``None`` = planned under the uniform approximation)
         self.signatures = dict(signatures) if signatures else None
+        #: expert placement the plan assumes the cluster runs under
+        #: (``{layer_key: ExpertPlacement}`` map; ``None`` = the default
+        #: identity layout).  Part of the plan's identity: store keys are
+        #: qualified by its fingerprint.
+        self.placement = normalize_placement(placement)
         self.scenario = scenario
         #: summary of the optimizer run that produced the plan
         self.planner = dict(planner or {})
@@ -306,12 +314,14 @@ class Plan:
     def to_dict(self) -> dict:
         import repro  # late: repro.__init__ imports this module
 
+        from ..placement import placement_map_to_json
+
         program_json = (
             self._program_json
             if self._program_json is not None
             else program_to_json(self._program)
         )
-        return {
+        doc = {
             "schema": PLAN_SCHEMA,
             "schema_version": PLAN_SCHEMA_VERSION,
             "repro_version": getattr(repro, "__version__", "unknown"),
@@ -326,6 +336,11 @@ class Plan:
             "meta": self.meta,
             "program": program_json,
         }
+        if self.placement is not None:
+            # key present only for placement-carrying plans: documents
+            # written by placement-free pipelines stay byte-stable
+            doc["placement"] = placement_map_to_json(self.placement)
+        return doc
 
     @classmethod
     def from_dict(cls, obj: dict, materialize: bool = True) -> "Plan":
@@ -351,12 +366,15 @@ class Plan:
                 f"incompatible with this build (reads {PLAN_SCHEMA_VERSION}); "
                 f"re-compile the plan"
             )
+        from ..placement import placement_map_from_json
+
         try:
             program_json = obj["program"]
             if not isinstance(program_json, dict):
                 raise PlanError("plan 'program' section must be an object")
             scenario = obj.get("scenario")
             plan = cls(
+                placement=placement_map_from_json(obj.get("placement")),
                 cluster=cluster_from_json(obj["cluster"]),
                 policy=PlanPolicy.from_dict(obj["policy"]),
                 fingerprint=str(obj["fingerprint"]),
@@ -430,6 +448,17 @@ class Plan:
             )
         else:
             lines.append("  routing: uniform approximation")
+        if self.placement is not None:
+            from ..placement import placement_map_fingerprint
+
+            shadowed = sum(
+                len(p.replicated_experts) for p in self.placement.values()
+            )
+            lines.append(
+                f"  placement: {len(self.placement)} placement(s), "
+                f"{shadowed} shadowed expert(s), "
+                f"fingerprint {placement_map_fingerprint(self.placement)[:12]}"
+            )
         lines.append(
             f"  predicted iteration: {self.predicted_iteration_ms:.2f} ms"
         )

@@ -190,13 +190,23 @@ class PlanStore:
         cluster: ClusterSpec,
         policy: PlanPolicy,
         framework: FrameworkProfile,
+        placement=None,
     ) -> dict:
-        return {
+        payload = {
             "fingerprint": fingerprint,
             "cluster": cluster_to_json(cluster),
             "framework": framework_to_json(framework),
             "policy": policy.to_dict(),
         }
+        if placement is not None:
+            # placement-free keys stay byte-identical to pre-placement
+            # stores (existing entries keep resolving); a placement
+            # qualifies the key by its content fingerprint so plans for
+            # different expert layouts can never collide
+            from ..placement import placement_map_fingerprint
+
+            payload["placement"] = placement_map_fingerprint(placement)
+        return payload
 
     def key_for(
         self,
@@ -205,9 +215,12 @@ class PlanStore:
         policy: PlanPolicy,
         framework: FrameworkProfile,
         signatures: dict | None = None,
+        placement=None,
     ) -> str:
         """Digest of the canonical cache key."""
-        payload = self._base_payload(fingerprint, cluster, policy, framework)
+        payload = self._base_payload(
+            fingerprint, cluster, policy, framework, placement
+        )
         payload["signatures"] = signature_bucket(signatures, self.digits)
         return canonical_digest(payload)
 
@@ -217,11 +230,12 @@ class PlanStore:
         cluster: ClusterSpec,
         policy: PlanPolicy,
         framework: FrameworkProfile,
+        placement=None,
     ) -> str:
         """Digest of the signature-free identity: the family of entries
         that differ only in their routing-signature bucket."""
         return canonical_digest(
-            self._base_payload(fingerprint, cluster, policy, framework)
+            self._base_payload(fingerprint, cluster, policy, framework, placement)
         )
 
     def path_for(self, key: str) -> pathlib.Path:
@@ -279,6 +293,7 @@ class PlanStore:
         policy: PlanPolicy,
         framework: FrameworkProfile,
         signatures: dict | None = None,
+        placement=None,
     ) -> Plan | None:
         """Warm plan for a key, or ``None`` on a miss.
 
@@ -286,7 +301,9 @@ class PlanStore:
         corrupted entries raise :class:`~repro.api.plan.PlanError`
         rather than deserializing garbage.
         """
-        key = self.key_for(fingerprint, cluster, policy, framework, signatures)
+        key = self.key_for(
+            fingerprint, cluster, policy, framework, signatures, placement
+        )
         plan = self._load(key)
         self.stats["hits" if plan is not None else "misses"] += 1
         return plan
@@ -350,6 +367,7 @@ class PlanStore:
             plan.policy,
             plan.framework,
             plan.signatures,
+            plan.placement,
         )
         path = plan.save(self.path_for(key))
         self._memory.pop(key, None)
@@ -444,7 +462,11 @@ class PlanStore:
     def _index_signatures(self, plan: Plan, key: str) -> None:
         index = self._read_signature_index()
         base = self.base_key_for(
-            plan.fingerprint, plan.cluster, plan.policy, plan.framework
+            plan.fingerprint,
+            plan.cluster,
+            plan.policy,
+            plan.framework,
+            plan.placement,
         )
         family = index.setdefault(base, {})
         family[key] = signature_bucket(plan.signatures, self.digits)
@@ -459,11 +481,14 @@ class PlanStore:
         cluster: ClusterSpec,
         policy: PlanPolicy,
         framework: FrameworkProfile,
+        placement=None,
     ) -> dict[str, object]:
         """All stored ``{entry key: signature bucket}`` for one base
-        identity (every plan of this graph/cluster/policy/framework,
-        across routing buckets)."""
-        base = self.base_key_for(fingerprint, cluster, policy, framework)
+        identity (every plan of this graph/cluster/policy/framework/
+        placement, across routing buckets)."""
+        base = self.base_key_for(
+            fingerprint, cluster, policy, framework, placement
+        )
         return dict(self._read_signature_index().get(base, {}))
 
     def nearest(
@@ -474,6 +499,7 @@ class PlanStore:
         framework: FrameworkProfile,
         signatures: dict | None = None,
         max_distance: float = 0.25,
+        placement=None,
     ) -> tuple[Plan, float] | None:
         """Closest stored plan of the same base identity, by signature
         bucket (see :func:`bucket_distance`), within ``max_distance``.
@@ -486,7 +512,7 @@ class PlanStore:
         target = signature_bucket(signatures, self.digits)
         best_key, best_d = None, math.inf
         for key, bucket in self.neighbors(
-            fingerprint, cluster, policy, framework
+            fingerprint, cluster, policy, framework, placement
         ).items():
             d = bucket_distance(target, bucket)
             if d < best_d:

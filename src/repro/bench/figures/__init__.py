@@ -12,6 +12,7 @@ from . import (
     headline,
     imbalance,
     opt_time,
+    placement,
     plan_serving,
     sim_throughput,
     skew_sweep,
@@ -23,8 +24,9 @@ from .common import FigureResult
 #: the Batch Prioritized gate, as in the paper; "imbalance" is an
 #: extension: the per-device load-skew scenario family, "skew_sweep"
 #: compares uniform vs skew-aware plans across hotness, "topology"
-#: compares flat vs hierarchical (2-hop) all-to-all plans, and "faults"
-#: runs the ISSUE 8 chaos drills over the fault-injection stack)
+#: compares flat vs hierarchical (2-hop) all-to-all plans, "faults"
+#: runs the ISSUE 8 chaos drills over the fault-injection stack, and
+#: "placement" gates the ISSUE 9 expert placement optimizer)
 ALL_FIGURES = {
     "faults": fault_recovery.run,
     "fig02": fig02.run,
@@ -38,6 +40,7 @@ ALL_FIGURES = {
     "headline": headline.run,
     "imbalance": imbalance.run,
     "opt_time": opt_time.run,
+    "placement": placement.run,
     "plan_serving": plan_serving.run,
     "sim_throughput": sim_throughput.run,
     "skew_sweep": skew_sweep.run,

@@ -136,6 +136,17 @@ class LancetOptimizer:
     a2a_cache_size:
         LRU cap of the signature-keyed all-to-all estimate cache
         (``None`` keeps the default bound).
+    placement:
+        Optional expert placement (a bare
+        :class:`~repro.placement.ExpertPlacement` or a
+        ``{layer_key: placement}`` map) the cluster is assumed to run
+        under.  Installed signatures are remapped through it
+        (:meth:`RoutingSignature.remap
+        <repro.runtime.RoutingSignature.remap>`) before pricing, so
+        plans account for the placement's replica traffic splits.
+        Signatures must carry count provenance to be remappable;
+        :meth:`observe_routing` collects counts automatically when a
+        placement is set.  Identity placements are exact no-ops.
     """
 
     def __init__(
@@ -149,8 +160,12 @@ class LancetOptimizer:
         routing_signatures: dict | None = None,
         enable_hierarchical_a2a: bool = False,
         a2a_cache_size: int | None = None,
+        placement=None,
     ) -> None:
+        from ..placement import normalize_placement
+
         self.cluster = cluster
+        self.placement = normalize_placement(placement)
         self.framework = framework
         self.hyper_params = hyper_params or LancetHyperParams()
         self.enable_dw_schedule = enable_dw_schedule
@@ -177,7 +192,7 @@ class LancetOptimizer:
         #: :class:`~repro.core.partition.PlannerState`)
         self.planner_state = PlannerState()
         if routing_signatures:
-            self.costs.set_signatures(routing_signatures)
+            self.costs.set_signatures(self._remapped(routing_signatures))
 
     def reset_planner_state(self) -> None:
         """Drop the warm-start state (next :meth:`optimize` plans cold)."""
@@ -198,8 +213,30 @@ class LancetOptimizer:
         """Re-target the cost oracle at new routing observations (or back
         at the uniform approximation with ``None``).  Safe to call
         between :meth:`optimize` runs: prediction caches key on the
-        signature, so stale entries are never reused."""
-        self.costs.set_signatures(signatures)
+        signature, so stale entries are never reused.  With a
+        ``placement`` set, signatures are remapped through it first."""
+        self.costs.set_signatures(self._remapped(signatures))
+
+    def set_placement(self, placement) -> None:
+        """Install (or clear, with ``None``) the expert placement plans
+        assume.  Takes effect on the next signature installation."""
+        from ..placement import normalize_placement
+
+        self.placement = normalize_placement(placement)
+
+    def _remapped(self, signatures: dict | None) -> dict | None:
+        """Signatures as the cost oracle should see them: folded through
+        the active placement's traffic splits (no-op without one)."""
+        from ..placement import placement_for, placement_map_is_identity
+
+        if not signatures or placement_map_is_identity(self.placement):
+            return signatures
+        topology = self.cluster.topology
+        out = {}
+        for layer, sig in signatures.items():
+            p = placement_for(self.placement, layer)
+            out[layer] = sig.remap(p, topology=topology)
+        return out
 
     def observe_routing(self, program_or_graph, routing) -> dict:
         """Extract per-layer signatures from a routing model's realization
@@ -225,8 +262,10 @@ class LancetOptimizer:
             padded_a2a=False,
             routing=routing,
         )
-        signatures = observed_routing_signatures(program, config)
-        self.costs.set_signatures(signatures or None)
+        signatures = observed_routing_signatures(
+            program, config, with_counts=self.placement is not None
+        )
+        self.costs.set_signatures(self._remapped(signatures or None))
         return signatures
 
     def optimize(

@@ -14,7 +14,7 @@ a consistent realization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -48,6 +48,16 @@ class RoutingSignature:
     #: when the realization was summarized without a topology; the cost
     #: model then falls back to uniform-traffic coefficients.
     hier_load: tuple[float, float, float] | None = None
+    #: optional provenance: the raw ``[devices, experts]`` dispatch
+    #: counts this signature was summarized from (as nested tuples).
+    #: Attached by :meth:`from_counts`; required by :meth:`remap` --
+    #: expert-level placement cannot be recovered from the collapsed
+    #: pair-bytes view.  Excluded from :meth:`key` (plan caches key on
+    #: the realized traffic shape, not its expert decomposition).
+    expert_counts: tuple | None = None
+    #: bytes each routed token moves; only meaningful alongside
+    #: ``expert_counts`` (0.0 = no provenance attached)
+    bytes_per_token: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.load:
@@ -112,14 +122,25 @@ class RoutingSignature:
         topology=None,
     ) -> "RoutingSignature":
         """Signature from observed dispatch counts ``[devices, experts]``
-        (expert ``e`` owned by device ``e // (E / G)``)."""
+        (expert ``e`` owned by device ``e // (E / G)``).
+
+        The raw counts are attached as :attr:`expert_counts` provenance,
+        which is what makes the signature :meth:`remap`-able under an
+        expert placement later.
+        """
+        raw = np.asarray(counts)
         counts = np.asarray(counts, dtype=np.float64)
         g, e = counts.shape
         if e % g != 0:
             raise ValueError(f"experts ({e}) must divide evenly over {g} devices")
         per_owner = counts.reshape(g, g, e // g).sum(axis=2)
-        return cls.from_pair_bytes(
+        sig = cls.from_pair_bytes(
             per_owner * float(bytes_per_token), topology=topology
+        )
+        return replace(
+            sig,
+            expert_counts=tuple(tuple(float(v) for v in row) for row in raw),
+            bytes_per_token=float(bytes_per_token),
         )
 
     @property
@@ -170,6 +191,43 @@ class RoutingSignature:
                 hit += tuple(round(v, digits) for v in self.hier_load)
             self._key_memo[digits] = hit
         return hit
+
+    def remap(self, placement, topology=None) -> "RoutingSignature":
+        """The signature this routing realization produces under an
+        expert placement.
+
+        Folds the placement's replica/"shadow" traffic splits into the
+        pair-bytes matrix (via
+        :meth:`~repro.placement.ExpertPlacement.pair_bytes`, which is
+        bit-identical to the pure-Python reference) and re-summarizes.
+        ``None`` or an identity placement returns ``self`` unchanged --
+        the strongest possible no-op guarantee.  Requires
+        :attr:`expert_counts` provenance (:meth:`from_counts`): the
+        collapsed pair-bytes view cannot say which *expert* each byte
+        was for, so a counts-free signature cannot be remapped.
+        """
+        if placement is None:
+            return self
+        if getattr(placement, "is_identity", False):
+            return self
+        if self.expert_counts is None:
+            raise ValueError(
+                "signature has no expert_counts provenance; build it with "
+                "RoutingSignature.from_counts to make it remappable"
+            )
+        counts = np.asarray(self.expert_counts)
+        if placement.num_experts != counts.shape[1]:
+            raise ValueError(
+                f"placement covers {placement.num_experts} experts, "
+                f"signature observed {counts.shape[1]}"
+            )
+        bpt = self.bytes_per_token
+        pair = placement.pair_bytes(counts, bpt)
+        sig = RoutingSignature.from_pair_bytes(pair, topology=topology)
+        # tokens don't move under a placement -- provenance carries over
+        return replace(
+            sig, expert_counts=self.expert_counts, bytes_per_token=bpt
+        )
 
 
 @dataclass

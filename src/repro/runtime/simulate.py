@@ -209,6 +209,41 @@ class GroundTruthCost:
             fraction=fraction,
         )
 
+    def a2a_expert_counts(
+        self, instr: Instruction, program: Program
+    ) -> tuple[np.ndarray, float] | None:
+        """Realized expert-level dispatch counts of an irregular
+        all-to-all, as ``(counts [num_gpus, num_experts],
+        bytes_per_token)`` -- or ``None`` when the collective moves the
+        full padded buffer.
+
+        The expert-resolved companion of :meth:`a2a_pair_bytes` (same
+        routing draw, same capacity and chunk-fraction handling): pair
+        bytes collapse experts onto their owner devices, which is enough
+        to *price* an all-to-all but not to *re-place* experts -- the
+        placement optimizer needs the per-expert decomposition.
+        """
+        if self.config.padded_a2a or not instr.attrs.get("irregular", False):
+            return None
+        cluster = self.config.cluster
+        buf_t = program.type_of(instr.inputs[0])
+        e, c, h = buf_t.shape
+        g = cluster.num_gpus
+        tokens = int(instr.attrs.get("tokens", e * c))
+        layer_key = instr.attrs.get("moe_layer", instr.origin or instr.uid)
+        fraction = 1.0
+        if instr.partition is not None:
+            fraction = 1.0 / instr.partition[1]
+        counts = self.config.routing.counts_for(
+            layer_key,
+            g,
+            e,
+            tokens,
+            c if fraction == 1.0 else int(np.ceil(c)),
+            fraction=fraction,
+        )
+        return counts, float(h * buf_t.dtype.nbytes)
+
     def _a2a_ms(self, instr: Instruction, program: Program) -> float:
         pair = self.a2a_pair_bytes(instr, program)
         if pair is None:
@@ -444,7 +479,7 @@ def iteration_time_ms(
 
 
 def observed_routing_signatures(
-    program: Program, config: SimulationConfig
+    program: Program, config: SimulationConfig, with_counts: bool = False
 ) -> dict[object, RoutingSignature]:
     """Per-MoE-layer routing signatures of a config's realized routing.
 
@@ -455,6 +490,13 @@ def observed_routing_signatures(
     what the skew-aware optimizer plans against; on real hardware the
     counts would come from the gate's dispatch statistics instead.
 
+    With ``with_counts=True`` the signatures are built from the
+    expert-level dispatch counts instead (numerically identical loads)
+    and carry the counts as provenance, making them
+    :meth:`~RoutingSignature.remap`-able under an expert placement.
+    The default stays counts-free: plain pricing doesn't need the
+    decomposition and counts enlarge every signature.
+
     Returns an empty dict for padded configs (no realized irregularity).
     """
     cost = GroundTruthCost(config)
@@ -464,6 +506,21 @@ def observed_routing_signatures(
             continue
         key = instr.attrs.get("moe_layer", instr.origin or instr.uid)
         if key in signatures:
+            continue
+        if with_counts:
+            got = cost.a2a_expert_counts(instr, program)
+            if got is None:
+                continue
+            counts, bytes_per_token = got
+            if instr.partition is not None:
+                # a chunk carries 1/k of the layer's traffic; scale back
+                # to the full collective (chunk-independent signature)
+                counts = counts * instr.partition[1]
+            signatures[key] = RoutingSignature.from_counts(
+                counts,
+                bytes_per_token=bytes_per_token,
+                topology=config.cluster.topology,
+            )
             continue
         pair = cost.a2a_pair_bytes(instr, program)
         if pair is None:

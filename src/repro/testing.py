@@ -169,6 +169,92 @@ def st_exchange_params():
     )
 
 
+def st_expert_placement(num_experts: int, num_devices: int, max_replicas: int = 3):
+    """Strategy over valid :class:`~repro.placement.ExpertPlacement`\\ s:
+    every expert placed, replica device sets duplicate-free, traffic
+    fractions positive and normalized -- the full artifact space the
+    placement property suite quantifies over (identity included)."""
+    from hypothesis import strategies as st
+
+    from .placement import ExpertPlacement
+
+    def build(seed):
+        rng = np.random.default_rng(seed)
+        assignments = []
+        for _ in range(num_experts):
+            r = int(rng.integers(1, min(max_replicas, num_devices) + 1))
+            devices = rng.choice(num_devices, size=r, replace=False)
+            weights = rng.random(r) + 0.05  # bounded away from 0
+            fractions = weights / weights.sum()
+            assignments.append(
+                tuple(
+                    (int(d), float(f)) for d, f in zip(devices, fractions)
+                )
+            )
+        return ExpertPlacement(num_experts, num_devices, tuple(assignments))
+
+    identity = st.just(None).map(
+        lambda _: ExpertPlacement.identity(num_experts, num_devices)
+        if num_experts % num_devices == 0
+        else build(0)
+    )
+    return st.one_of(identity, st.integers(0, 2**16).map(build))
+
+
+def st_dispatch_counts(num_devices: int, num_experts: int, max_tokens: int = 512):
+    """Strategy over skewed integer dispatch-count matrices
+    ``[num_devices, num_experts]``: a noise floor plus 0-2 hot expert
+    columns, the traffic regime placement optimization targets."""
+    from hypothesis import strategies as st
+
+    def build(params):
+        seed, hot_experts, boost = params
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, max_tokens // 4, size=(num_devices, num_experts))
+        for h in rng.choice(num_experts, size=hot_experts, replace=False):
+            counts[:, h] += int(boost * max_tokens)
+        return counts
+
+    return st.tuples(
+        st.integers(0, 2**16),
+        st.integers(0, min(2, num_experts)),
+        st.sampled_from([0.5, 1.0, 2.0]),
+    ).map(build)
+
+
+def make_drift_trace(
+    num_devices: int,
+    num_experts: int,
+    steps: int = 40,
+    seed: int = 0,
+    base_tokens: int = 50,
+    hot_tokens: int = 700,
+    episodes: tuple = ((8, 20, 1), (26, 38, 4)),
+) -> list[np.ndarray]:
+    """A recorded dispatch-count trace with hot-expert drift episodes.
+
+    Steady near-balanced traffic, interrupted by ``episodes`` of
+    ``(start_step, end_step, hot_expert)`` during which the named expert
+    receives ``hot_tokens`` extra tokens per device -- the workload
+    shape (sudden popularity shifts that persist for a while) that makes
+    priced expert migration win.  Deterministic in ``seed``; the
+    checked-in ``tests/fixtures/routing_trace.json`` is one of these.
+    """
+    rng = np.random.default_rng(seed)
+    trace = []
+    for step in range(steps):
+        counts = rng.integers(
+            max(1, base_tokens // 2),
+            base_tokens,
+            size=(num_devices, num_experts),
+        )
+        for start, end, hot in episodes:
+            if start <= step < end:
+                counts[:, hot % num_experts] += hot_tokens
+        trace.append(counts.astype(np.int64))
+    return trace
+
+
 def st_simulation_scenario(num_gpus: int):
     """Strategy over (routing model, straggler map, protocol flags) --
     one scenario for the batch-vs-scalar differential harness."""

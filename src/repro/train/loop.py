@@ -272,9 +272,27 @@ class ReoptimizingTrainer(Trainer):
         disables fault handling entirely -- the fault-free path is
         bit-identical to a trainer without this feature.
     migration_horizon_steps:
-        How many future iterations a fault re-plan is amortized over
-        when pricing migration: the new schedule is installed iff
-        ``win_ms * migration_horizon_steps > migration_cost_ms``.
+        How many future iterations a fault re-plan (or an expert
+        migration) is amortized over when pricing: the change is
+        installed iff ``win_ms * migration_horizon_steps >
+        migration_cost_ms``.
+    placement_optimizer:
+        Optional :class:`~repro.placement.PlacementOptimizer`.  When
+        set, every drift-triggered re-plan first searches for a better
+        expert placement under the observed dispatch counts and prices
+        the switch (weight-transfer cost vs. steady-state bottleneck-a2a
+        win over ``migration_horizon_steps``), emitting a
+        :class:`~repro.placement.MigrationEvent` either way; accepted
+        placements are installed into the Lancet optimizer (signatures
+        are remapped before pricing) and qualify the plan cache/store
+        keys.  Requires the placement optimizer's cluster to span the
+        same device count as the numeric run (layers observed at a
+        different width are skipped).  ``None`` (the default) disables
+        placement entirely -- the control loop is unchanged.
+    expert_weight_bytes:
+        Per-expert parameter bytes used to price placement migrations;
+        defaults to the graph's expert FFN size (two ``hidden x
+        ffn_hidden`` matrices at f32).
     """
 
     def __init__(
@@ -292,6 +310,8 @@ class ReoptimizingTrainer(Trainer):
         server=None,
         fault_detector=None,
         migration_horizon_steps: int = 50,
+        placement_optimizer=None,
+        expert_weight_bytes: float | None = None,
     ) -> None:
         self.optimizer = optimizer
         #: the healthy-cluster optimizer; :attr:`optimizer` is swapped
@@ -303,6 +323,18 @@ class ReoptimizingTrainer(Trainer):
         self.fault_events: list = []
         self.recovery_events: list = []
         self.fault_replans: list[FaultReplanEvent] = []
+        self.placement_optimizer = placement_optimizer
+        if expert_weight_bytes is None:
+            # two [hidden, ffn_hidden] matrices per expert FFN, f32
+            expert_weight_bytes = (
+                2.0 * graph.cfg.hidden * graph.cfg.ffn_hidden * 4.0
+            )
+        self.expert_weight_bytes = float(expert_weight_bytes)
+        #: expert placement the current schedule assumes
+        #: (``{layer: ExpertPlacement}`` map; ``None`` = identity layout)
+        self._placements = getattr(optimizer, "placement", None)
+        #: telemetry of every priced placement-switch decision
+        self.migration_events: list = []
         self.drift_threshold = drift_threshold
         self.cache_digits = cache_digits
         self.server = server
@@ -456,6 +488,7 @@ class ReoptimizingTrainer(Trainer):
                 self._policy(),
                 self.optimizer.framework,
                 dict(self._observed),
+                placement=self._placements,
             )
             if plan is not None:
                 plan.program  # materialize now: decode failures = miss
@@ -476,6 +509,7 @@ class ReoptimizingTrainer(Trainer):
             framework=self.optimizer.framework,
             signatures=dict(self._observed),
             planner=report.summary_dict(),
+            placement=self._placements,
         )
         if self.server is not None:
             # through the server: also lands in its memory cache, so
@@ -489,11 +523,24 @@ class ReoptimizingTrainer(Trainer):
         drift = self.routing_drift()
         if drift <= self.drift_threshold or not self._observed:
             return result
+        self._maybe_migrate_placement(result.step)
+        self._replan(result.step, drift)
+        return result
+
+    def _replan(self, step: int, drift: float) -> None:
+        """Re-plan the schedule for the current observation (cache ->
+        store -> optimizer), install it, and record the event."""
         key = self._signature_key()
         # cache keys carry the active planning target: a schedule
         # compiled for a degraded cluster must never be served once the
-        # trainer has re-targeted the healthy one (and vice versa)
-        cache_key = (self.optimizer.cluster.name,) + key
+        # trainer has re-targeted the healthy one (and vice versa) --
+        # and the active placement, for the same reason
+        from ..placement import placement_map_fingerprint
+
+        cache_key = (
+            self.optimizer.cluster.name,
+            placement_map_fingerprint(self._placements),
+        ) + key
         cached = self._plan_cache.get(cache_key)
         warm = False
         store_hit = False
@@ -524,7 +571,7 @@ class ReoptimizingTrainer(Trainer):
         self.plan_signatures = dict(self._observed)
         self.events.append(
             ReoptimizationEvent(
-                step=result.step,
+                step=step,
                 drift=drift,
                 cache_hit=cached is not None,
                 wall_seconds=wall,
@@ -534,7 +581,132 @@ class ReoptimizingTrainer(Trainer):
                 store_hit=store_hit,
             )
         )
-        return result
+
+    # -- expert placement migration ---------------------------------------------
+
+    def _maybe_migrate_placement(self, step: int) -> None:
+        """Search for a better expert placement under the latest observed
+        dispatch counts and switch iff the migration prices in.
+
+        One joint decision across all observed MoE layers: the wins and
+        weight-transfer costs are summed, mirroring how an actual
+        migration would batch every layer's transfers into one step.  A
+        :class:`~repro.placement.MigrationEvent` is recorded whether or
+        not the switch is taken (``layer=None``, expert ids as
+        ``(layer, expert)`` pairs).
+        """
+        if self.placement_optimizer is None or not self._observed:
+            return
+        from ..placement import (
+            ExpertPlacement,
+            MigrationEvent,
+            migration_cost_ms,
+            placement_for,
+        )
+
+        popt = self.placement_optimizer
+        g = popt.cluster.num_gpus
+        before_total = after_total = transfer_ms = 0.0
+        candidates: dict = {}
+        moved: list = []
+        replicated: list = []
+        changed = False
+        for layer, sig in sorted(
+            self._observed.items(), key=lambda kv: str(kv[0])
+        ):
+            if sig.expert_counts is None:
+                continue
+            counts = np.asarray(sig.expert_counts)
+            if counts.shape[0] != g:
+                # observed at a different width than the placement
+                # cluster models (e.g. small numeric run, big modelled
+                # cluster): placement cannot be priced for this layer
+                continue
+            current = placement_for(self._placements, layer)
+            if current is None:
+                current = ExpertPlacement.identity(counts.shape[1], g)
+            bpt = sig.bytes_per_token or 1.0
+            before_ms = popt.cost_ms(current, counts, bpt)
+            result = popt.optimize(counts, bpt, start=current)
+            candidate = result.placement
+            before_total += before_ms
+            after_total += result.bottleneck_ms
+            candidates[layer] = candidate
+            if candidate != current:
+                changed = True
+                transfer_ms += migration_cost_ms(
+                    current, candidate, popt.cluster, self.expert_weight_bytes
+                )
+                moved.extend(
+                    (layer, e) for e in candidate.moved_experts(current)
+                )
+            replicated.extend(
+                (layer, e) for e in candidate.replicated_experts
+            )
+        if not changed:
+            return
+        win = before_total - after_total
+        migrated = win * self.migration_horizon_steps > transfer_ms
+        self.migration_events.append(
+            MigrationEvent(
+                step=step,
+                layer=None,
+                moved_experts=tuple(moved),
+                replicated_experts=tuple(replicated),
+                bottleneck_before_ms=before_total,
+                bottleneck_after_ms=after_total,
+                migration_cost_ms=transfer_ms,
+                horizon_steps=self.migration_horizon_steps,
+                migrated=migrated,
+            )
+        )
+        if migrated:
+            if all(p.is_identity for p in candidates.values()):
+                self._placements = None
+            else:
+                self._placements = dict(candidates)
+            # plans from here on price against the remapped signatures
+            self.optimizer.set_placement(self._placements)
+
+    # -- trace replay ------------------------------------------------------------
+
+    def observe_dispatch_counts(
+        self, counts_by_layer: dict, bytes_per_token: float | None = None
+    ) -> None:
+        """Install externally recorded dispatch counts as the latest
+        routing observation (``{layer: [devices, experts] counts}``) --
+        the seam trace replay and real-hardware gate counters share with
+        the numeric executor's own observation path."""
+        if bytes_per_token is None:
+            bytes_per_token = float(self.graph.cfg.hidden) * 2.0
+        topo = self.optimizer.cluster.topology
+        self._observed = {}
+        for layer, counts in counts_by_layer.items():
+            counts = np.asarray(counts)
+            t = topo if topo.num_gpus == counts.shape[0] else None
+            self._observed[layer] = RoutingSignature.from_counts(
+                counts, bytes_per_token=bytes_per_token, topology=t
+            )
+
+    def replay_observation(
+        self, counts_by_layer: dict, bytes_per_token: float | None = None
+    ) -> float:
+        """Drive one tick of the re-planning control loop from recorded
+        dispatch counts, without executing a training step.
+
+        Runs the exact drift -> placement-migration -> re-plan sequence
+        :meth:`step` runs after a numeric step; returns the measured
+        drift.  This is what replays a recorded routing trace through
+        the trainer (the ExpertMigration-style drill).
+        """
+        step = len(self.history)
+        self.observe_dispatch_counts(counts_by_layer, bytes_per_token)
+        drift = self.routing_drift()
+        if drift <= self.drift_threshold or not self._observed:
+            return drift
+        self._maybe_migrate_placement(step)
+        self._replan(step, drift)
+        return drift
 
     # -- failure-aware re-planning ---------------------------------------------
 

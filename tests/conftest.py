@@ -48,3 +48,19 @@ def a100_16() -> ClusterSpec:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def routing_trace() -> dict:
+    """The recorded dispatch-count trace with hot-expert drift episodes
+    (``fixtures/routing_trace.json``).  Keys: ``num_devices``,
+    ``num_experts``, ``bytes_per_token``, and ``steps`` (a list of
+    ``[num_devices, num_experts]`` int arrays)."""
+    import json
+    from pathlib import Path
+
+    doc = json.loads(
+        (Path(__file__).parent / "fixtures" / "routing_trace.json").read_text()
+    )
+    doc["steps"] = [np.asarray(s, dtype=np.int64) for s in doc["steps"]]
+    return doc

@@ -178,6 +178,51 @@ class TestCorruption:
         assert healed.from_store
 
 
+class TestPlacementKeys:
+    def test_keys_distinguish_plans_differing_only_in_placement(
+        self, tmp_path, plans
+    ):
+        """Two plans identical in every respect except their expert
+        placement must land on distinct store entries -- and the
+        placement-free key must stay byte-identical to what a
+        pre-placement store would compute (old entries keep resolving)."""
+        from repro.api.plan import Plan
+        from repro.placement import ExpertPlacement
+
+        base = plans[0]
+        placement = ExpertPlacement(
+            16,
+            8,
+            tuple(((e % 8, 1.0),) for e in range(16)),  # scrambled layout
+        )
+        placed = Plan(
+            cluster=base.cluster,
+            policy=base.policy,
+            fingerprint=base.fingerprint,
+            predicted_iteration_ms=base.predicted_iteration_ms,
+            program=base.program,
+            signatures=base.signatures,
+            placement=placement,
+        )
+        store = PlanStore(tmp_path)
+        args = (base.fingerprint, base.cluster, base.policy, base.framework)
+        assert store.key_for(
+            *args, base.signatures
+        ) != store.key_for(*args, base.signatures, placed.placement)
+        assert store.base_key_for(*args) != store.base_key_for(
+            *args, placed.placement
+        )
+
+        store.put(base)
+        store.put(placed)
+        assert len(store) == 2  # no collision
+        unplaced_hit = store.get(*args, base.signatures)
+        placed_hit = store.get(*args, base.signatures, placed.placement)
+        assert unplaced_hit is not None and unplaced_hit.placement is None
+        assert placed_hit is not None
+        assert placed_hit.placement == {None: placement}
+
+
 class TestMemoryCacheStaleness:
     def test_unchanged_content_is_served_from_memory(self, tmp_path, plans):
         store = PlanStore(tmp_path)

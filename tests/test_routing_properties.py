@@ -19,6 +19,8 @@ from repro.moe import (
     route_tokens,
 )
 from repro.moe.layer import softmax
+from repro.runtime import RoutingSignature
+from repro.testing import st_dispatch_counts
 
 
 @st.composite
@@ -116,6 +118,21 @@ def test_dispatch_adjoint_property(pc, h):
     lhs = float((dispatch(x, info) * bbuf).sum())
     rhs = float((x * dispatch_dx(bbuf, info)).sum())
     assert np.isclose(lhs, rhs)
+
+
+@given(st_dispatch_counts(4, 8))
+@settings(max_examples=40, deadline=None)
+def test_signature_from_counts_invariants(counts):
+    """Signatures summarized from any (skewed) dispatch counts are
+    well-formed: the bottleneck device is at least mean-loaded, the
+    count provenance survives verbatim, and re-summarizing the same
+    counts is deterministic."""
+    sig = RoutingSignature.from_counts(counts, bytes_per_token=64.0)
+    assert sig.num_devices == 4
+    assert all(v >= 0 for v in sig.load)
+    assert sig.bottleneck >= 1.0 or sig.is_uniform
+    assert np.array_equal(np.asarray(sig.expert_counts), counts)
+    assert sig == RoutingSignature.from_counts(counts, bytes_per_token=64.0)
 
 
 @given(probs_and_capacity())

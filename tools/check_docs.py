@@ -76,7 +76,12 @@ def check_snippets(path: pathlib.Path) -> list[str]:
 
 
 #: facade modules whose entire ``__all__`` must appear in the docs
-_COVERED_MODULES = ("repro.api", "repro.serving", "repro.faults")
+_COVERED_MODULES = (
+    "repro.api",
+    "repro.serving",
+    "repro.faults",
+    "repro.placement",
+)
 
 
 def check_symbol_coverage(files: list[pathlib.Path]) -> list[str]:
