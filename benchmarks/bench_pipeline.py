@@ -1,0 +1,53 @@
+"""Pipeline-planner gate: differential agreement + staged-split wins.
+
+Runs the three seeded pipeline drills (``repro.bench.figures.pipeline``)
+and asserts the documented quality contracts directly, on top of the
+baseline-diffed regression metrics:
+
+1. **Differential agreement** -- on every staged simulation in the grid
+   (real programs x staged clusters x routing realizations x both
+   schedules), the scan scheduler's job times are bit-identical to the
+   naive event-replay reference: zero mismatches, ever.
+2. **Staged-split wins** -- on every multi-node hot-grid point the
+   planner-chosen stage boundaries beat the naive even split's full
+   pipelined iteration time by at least the documented target (mean
+   over routing seeds), the "boundary placement is a planning decision"
+   claim.
+3. **Schedule ablation** -- on identical per-stage costs 1F1B never
+   loses iteration time to GPipe, and never holds more microbatches in
+   flight (the activation-memory high-water mark) on any stage.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import pipeline
+
+
+def test_pipeline(benchmark):
+    result = run_figure(benchmark, pipeline.run)
+    differential = result.notes["differential"]
+    hot = result.notes["hot_grid"]
+    schedule = result.notes["schedule"]
+
+    # contract 1: bit-identity is a contract, not a tolerance
+    assert differential["mismatches"] == 0
+    assert differential["runs"] >= 24
+    assert differential["jobs_compared"] >= 200
+
+    # contract 2: every grid point clears the improvement target
+    assert hot["min_improvement"] >= hot["target"], (
+        f"worst grid point won only {hot['min_improvement'] * 100:.1f}% "
+        f"over the even split (target {hot['target'] * 100:.0f}%)"
+    )
+    for point in hot["points"]:
+        assert point["mean_improvement"] > 0
+        assert point["chosen_split"] != point["even_split"], (
+            f"{point['cluster']}: the planner found no better split than "
+            "even, so the grid no longer exercises the search"
+        )
+
+    # contract 3: 1F1B never loses to GPipe on identical costs
+    assert schedule["worst_1f1b_over_gpipe"] <= 1.0 + 1e-9
+    assert schedule["peak_violations"] == 0
+    for point in schedule["points"]:
+        assert point["1f1b_peak_in_flight"] <= point["gpipe_peak_in_flight"]

@@ -28,7 +28,7 @@ composes them)::
     optimized, report = LancetOptimizer(cluster).optimize(graph)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .api import (
     Plan,

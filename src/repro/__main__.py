@@ -68,6 +68,12 @@ def _scenario_from_args(args: argparse.Namespace):
         )
     if args.seed is not None:
         scenario = scenario.with_(routing_seed=args.seed)
+    if getattr(args, "stages", None) is not None:
+        scenario = scenario.with_(pipeline_stages=args.stages)
+    if getattr(args, "microbatches", None) is not None:
+        scenario = scenario.with_(microbatches=args.microbatches)
+    if getattr(args, "schedule", None) is not None:
+        scenario = scenario.with_(pipeline_schedule=args.schedule)
     return scenario
 
 
@@ -116,18 +122,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     plan = _load_or_compile_plan(args)
     scenario = plan.scenario
+    staged = plan.stage_map is not None
     timeline = plan.simulate(seed=args.seed)
+    # for staged plans the program (and hence the simulation and the
+    # baseline below) is one *microbatch* on one stage-width subgroup;
+    # the pipeline-level iteration is the plan's prediction
+    unit = "microbatch" if staged else "iteration"
     result = {
         "fingerprint": plan.fingerprint,
         "scenario": scenario.to_dict() if scenario else None,
         "predicted_iteration_ms": plan.predicted_iteration_ms,
-        "simulated_iteration_ms": timeline.makespan,
+        f"simulated_{unit}_ms": timeline.makespan,
         "exposed_a2a_ms": timeline.exposed_time_of({"all_to_all"}),
         "from_store": plan.from_store,
     }
     print(f"plan {plan.fingerprint[:23]}")
     print(f"  predicted iteration: {plan.predicted_iteration_ms:.2f} ms")
-    print(f"  simulated iteration: {timeline.makespan:.2f} ms")
+    if staged:
+        print(f"  pipeline: {plan.stage_map.describe()}")
+    print(f"  simulated {unit}: {timeline.makespan:.2f} ms")
     print(f"  exposed all-to-all:  {result['exposed_a2a_ms']:.2f} ms")
     if scenario is not None:
         # compare against the unoptimized schedule of the same scenario
@@ -138,17 +151,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         baseline = simulate_program(
             sc.build_graph().program,
             config=SimulationConfig(
-                cluster=plan.cluster,
+                cluster=plan.simulation_cluster(),
                 framework=plan.framework,
                 padded_a2a=True,
                 routing=sc.routing_model(),
             ),
         )
-        result["baseline_iteration_ms"] = baseline.makespan
+        result[f"baseline_{unit}_ms"] = baseline.makespan
         result["speedup"] = baseline.makespan / timeline.makespan
         print(
             f"  baseline (unoptimized): {baseline.makespan:.2f} ms "
-            f"-> {result['speedup']:.2f}x speedup"
+            f"-> {result['speedup']:.2f}x {unit} speedup"
         )
     _write_json(args.out, result)
     return 0
@@ -389,6 +402,22 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--defer-allreduce", action="store_true",
         help="enable the Lina-style a2a-priority extension",
+    )
+    # the pipeline request is part of the plan's identity too (folded
+    # into scenario + store keys), so the same same-flags rule applies
+    parser.add_argument(
+        "--stages", type=int, default=None, metavar="N",
+        help="pipeline stages (hybrid pipeline x expert parallelism; "
+        "must divide the GPU count)",
+    )
+    parser.add_argument(
+        "--microbatches", type=int, default=None, metavar="M",
+        help="microbatches per iteration (requires --stages > 1; "
+        "must divide the per-GPU batch)",
+    )
+    parser.add_argument(
+        "--schedule", default=None, choices=["1f1b", "gpipe"],
+        help="microbatch schedule for staged scenarios (default 1f1b)",
     )
 
 

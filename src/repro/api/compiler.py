@@ -93,6 +93,11 @@ class ResolvedWorkload:
     #: cluster/signature overrides) -- only then may the result enter
     #: the store's scenario index
     scenario_pure: bool
+    #: hybrid pipeline x expert parallel request (``{"num_stages",
+    #: "microbatches", "schedule"}``, the :meth:`~repro.pipeline
+    #: .StageMap.request_dict` shape) -- ``None`` for flat workloads.
+    #: Folded into store keys; drives the staged planning branch.
+    pipeline: dict | None = None
 
     @property
     def program(self) -> Program:
@@ -125,12 +130,30 @@ def resolve_workload(
     scenario_pure = (
         scenario is not None and cluster is None and signatures is None
     )
+    pipeline = None
     if scenario is not None:
         graph = scenario.build_graph()
         cluster = cluster or scenario.build_cluster()
         source: ModelGraph | Program = graph
+        sig_cluster = cluster
+        if scenario.staged:
+            pipeline = {
+                "num_stages": scenario.pipeline_stages,
+                "microbatches": scenario.microbatches,
+                "schedule": scenario.pipeline_schedule,
+            }
+            # the graph is built at stage-subgroup width, so signatures
+            # must be observed on the subgroup cluster: an all-to-all
+            # spans one stage's devices, never the whole cluster
+            from ..pipeline.stage import _subcluster
+
+            sig_cluster = _subcluster(
+                cluster, 0, cluster.num_gpus // scenario.pipeline_stages
+            )
         if signatures is None and policy.skew_aware:
-            signatures = _observed_signatures(graph.program, scenario, cluster)
+            signatures = _observed_signatures(
+                graph.program, scenario, sig_cluster
+            )
     elif isinstance(workload, (ModelGraph, Program)):
         if cluster is None:
             raise TypeError(
@@ -152,6 +175,73 @@ def resolve_workload(
         signatures=signatures,
         scenario=scenario,
         scenario_pure=scenario_pure,
+        pipeline=pipeline,
+    )
+
+
+def _plan_resolved_staged(resolved: ResolvedWorkload, check: bool) -> Plan:
+    """The staged planning branch: pick pipeline boundaries, optimize
+    each stage against its own subgroup, reassemble, and wrap.
+
+    The plan's program is the *reassembled per-microbatch* schedule (one
+    flat program with every stage's optimized segments stitched back
+    together); the predicted iteration time is the staged pipeline
+    makespan over all microbatches, including p2p and the gradient-sync
+    tail -- what an iteration of the staged workload actually costs.
+    """
+    from ..pipeline import plan_stages
+
+    t0 = time.perf_counter()
+    request = resolved.pipeline
+    policy = resolved.policy
+    hyper = policy.hyper_params()
+
+    def optimizer_factory(stage_cluster):
+        return LancetOptimizer(
+            stage_cluster,
+            framework=resolved.framework,
+            hyper_params=hyper,
+            enable_dw_schedule=policy.enable_dw_schedule,
+            enable_partition=policy.enable_partition,
+            defer_allreduce=policy.defer_allreduce,
+            routing_signatures=resolved.signatures,
+            enable_hierarchical_a2a=policy.enable_hierarchical_a2a,
+        )
+
+    routing = None
+    if resolved.scenario is not None and policy.skew_aware:
+        routing = resolved.scenario.routing_model()
+    result = plan_stages(
+        resolved.source,
+        resolved.cluster,
+        request["num_stages"],
+        request["microbatches"],
+        schedule=request["schedule"],
+        optimizer_factory=optimizer_factory,
+        framework=resolved.framework,
+        routing=routing,
+        padded_a2a=routing is None,
+        check=check,
+    )
+    planner = {
+        "compile_seconds": time.perf_counter() - t0,
+        "stage_candidates": [
+            {**c, "layer_counts": list(c["layer_counts"])}
+            for c in result.candidates
+        ],
+        "stage_reports": result.stage_reports,
+    }
+    return Plan(
+        program=result.program,
+        cluster=resolved.cluster,
+        policy=resolved.policy,
+        fingerprint=resolved.fingerprint,
+        predicted_iteration_ms=result.simulation.makespan,
+        framework=resolved.framework,
+        signatures=resolved.signatures,
+        scenario=resolved.scenario,
+        planner=planner,
+        stage_map=result.stage_map,
     )
 
 
@@ -161,7 +251,11 @@ def plan_resolved(resolved: ResolvedWorkload, check: bool = True) -> Plan:
     This is the one place a :class:`~repro.core.LancetOptimizer` is
     constructed on behalf of the facade; everything above it (store
     lookups, coalescing, nearest-signature serving) is cache machinery.
+    Staged workloads (``resolved.pipeline`` set) route through the
+    pipeline boundary planner, which runs one optimizer per stage.
     """
+    if resolved.pipeline is not None:
+        return _plan_resolved_staged(resolved, check=check)
     t0 = time.perf_counter()
     optimizer = LancetOptimizer(
         resolved.cluster,
@@ -259,6 +353,7 @@ def compile(
             resolved.policy,
             resolved.framework,
             resolved.signatures,
+            pipeline=resolved.pipeline,
         )
         if plan is not None:
             return plan

@@ -52,8 +52,10 @@ PLAN_SCHEMA = "repro.api/plan"
 
 #: schema version of plan artifacts; bump the major on any breaking
 #: layout change -- loaders refuse mismatched majors (1.1 added the
-#: optional "placement" section; placement-less documents are unchanged)
-PLAN_SCHEMA_VERSION = "1.1"
+#: optional "placement" section; 1.2 the optional "pipeline" section
+#: carrying a staged plan's stage map; documents without either section
+#: are unchanged)
+PLAN_SCHEMA_VERSION = "1.2"
 
 
 class PlanError(Exception):
@@ -164,6 +166,7 @@ class Plan:
         meta: dict | None = None,
         report=None,
         placement=None,
+        stage_map=None,
     ) -> None:
         from ..placement import normalize_placement
         if (program is None) == (program_json is None):
@@ -185,6 +188,18 @@ class Plan:
         #: identity layout).  Part of the plan's identity: store keys are
         #: qualified by its fingerprint.
         self.placement = normalize_placement(placement)
+        if stage_map is not None and isinstance(stage_map, dict):
+            from ..pipeline import StageMap
+
+            stage_map = StageMap.from_dict(stage_map)
+        #: :class:`~repro.pipeline.StageMap` of a staged (hybrid
+        #: pipeline x expert parallel) plan; ``None`` for flat plans.
+        #: The request part (stages/microbatches/schedule) folds into
+        #: store keys; the chosen boundaries ride along for audit.  For
+        #: staged plans, ``program`` is the reassembled *per-microbatch*
+        #: schedule and ``predicted_iteration_ms`` the full pipeline
+        #: makespan over all microbatches.
+        self.stage_map = stage_map
         self.scenario = scenario
         #: summary of the optimizer run that produced the plan
         self.planner = dict(planner or {})
@@ -280,8 +295,22 @@ class Plan:
 
     # -- execution helpers ---------------------------------------------------
 
+    def simulation_cluster(self) -> ClusterSpec:
+        """The cluster the plan's *program* simulates against: the full
+        cluster for flat plans, one stage subgroup for staged plans
+        (whose program is the per-microbatch, subgroup-width schedule)."""
+        if self.stage_map is None:
+            return self.cluster
+        from ..pipeline.stage import _subcluster
+
+        return _subcluster(
+            self.cluster, 0, self.cluster.num_gpus // self.stage_map.num_stages
+        )
+
     def simulate(self, seed: int | None = None, routing=None, padded_a2a=False):
-        """Ground-truth simulation of one iteration of this plan.
+        """Ground-truth simulation of one iteration of this plan's
+        program (for staged plans: one *microbatch* on one stage-width
+        subgroup -- the pipeline-level figure is ``predicted_iteration_ms``).
 
         Uses the scenario's routing model when the plan has one (with
         ``seed`` overriding its seed); otherwise a fresh
@@ -298,7 +327,7 @@ class Plan:
             else:
                 routing = SyntheticRoutingModel(seed=1 if seed is None else seed)
         config = SimulationConfig(
-            cluster=self.cluster,
+            cluster=self.simulation_cluster(),
             framework=self.framework,
             padded_a2a=padded_a2a,
             routing=routing,
@@ -340,6 +369,9 @@ class Plan:
             # key present only for placement-carrying plans: documents
             # written by placement-free pipelines stay byte-stable
             doc["placement"] = placement_map_to_json(self.placement)
+        if self.stage_map is not None:
+            # same optional-section pattern: flat plans stay byte-stable
+            doc["pipeline"] = self.stage_map.to_dict()
         return doc
 
     @classmethod
@@ -375,6 +407,7 @@ class Plan:
             scenario = obj.get("scenario")
             plan = cls(
                 placement=placement_map_from_json(obj.get("placement")),
+                stage_map=obj.get("pipeline"),
                 cluster=cluster_from_json(obj["cluster"]),
                 policy=PlanPolicy.from_dict(obj["policy"]),
                 fingerprint=str(obj["fingerprint"]),
@@ -459,6 +492,8 @@ class Plan:
                 f"{shadowed} shadowed expert(s), "
                 f"fingerprint {placement_map_fingerprint(self.placement)[:12]}"
             )
+        if self.stage_map is not None:
+            lines.append(f"  pipeline: {self.stage_map.describe()}")
         lines.append(
             f"  predicted iteration: {self.predicted_iteration_ms:.2f} ms"
         )

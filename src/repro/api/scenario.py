@@ -68,6 +68,14 @@ class Scenario:
     routing_seed / concentration / hot_experts / hot_boost:
         The synthetic routing realization the plan is conditioned on
         (see :class:`~repro.runtime.SyntheticRoutingModel`).
+    pipeline_stages / microbatches / pipeline_schedule:
+        Hybrid pipeline x expert parallelism (see :mod:`repro.pipeline`).
+        ``pipeline_stages > 1`` splits the model into that many stages,
+        each on a ``num_gpus / pipeline_stages`` device subgroup, and
+        runs ``microbatches`` microbatches per iteration under the named
+        schedule (``1f1b`` or ``gpipe``).  The graph is then built *per
+        microbatch at subgroup width* -- expert parallelism (and its
+        all-to-alls) lives inside a stage.
     """
 
     model: str = "GPT2-S-MoE"
@@ -80,11 +88,39 @@ class Scenario:
     concentration: float = 16.0
     hot_experts: int = 0
     hot_boost: float = 0.0
+    pipeline_stages: int = 1
+    microbatches: int = 1
+    pipeline_schedule: str = "1f1b"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model", _resolve_model_name(self.model))
         if self.num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        from ..pipeline.stage import SCHEDULES
+
+        if self.pipeline_stages < 1:
+            raise ValueError(
+                f"pipeline_stages must be >= 1, got {self.pipeline_stages}"
+            )
+        if self.num_gpus % self.pipeline_stages:
+            raise ValueError(
+                f"{self.pipeline_stages} pipeline stages must divide "
+                f"{self.num_gpus} GPUs"
+            )
+        if self.microbatches < 1:
+            raise ValueError(
+                f"microbatches must be >= 1, got {self.microbatches}"
+            )
+        if self.pipeline_stages == 1 and self.microbatches != 1:
+            raise ValueError(
+                "microbatches > 1 requires pipeline_stages > 1 (a flat "
+                "scenario has no pipeline to fill)"
+            )
+        if self.pipeline_schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown pipeline schedule {self.pipeline_schedule!r}; "
+                f"pick from {SCHEDULES}"
+            )
 
     # -- resolution ---------------------------------------------------------
 
@@ -107,20 +143,43 @@ class Scenario:
         return _DEFAULT_SEQ.get(self.model, PAPER_SEQ)
 
     @property
+    def staged(self) -> bool:
+        """Whether this scenario requests pipeline parallelism."""
+        return self.pipeline_stages > 1
+
+    @property
     def name(self) -> str:
-        """Canonical display name, e.g. ``gpt2-s-moe/a100x16``."""
+        """Canonical display name, e.g. ``gpt2-s-moe/a100x16`` (staged
+        scenarios append ``-pp<stages>x<microbatches>``)."""
         suffix = "-hot" if self.hot_boost > 0 else ""
+        if self.staged:
+            suffix += f"-pp{self.pipeline_stages}x{self.microbatches}"
+            if self.pipeline_schedule != "1f1b":
+                suffix += f"-{self.pipeline_schedule}"
         return f"{self.model.lower()}/{self.cluster}x{self.num_gpus}{suffix}"
 
     # -- builders ------------------------------------------------------------
 
     def build_graph(self) -> ModelGraph:
-        """The full training-iteration IR of this scenario."""
+        """The training-iteration IR of this scenario.
+
+        Flat scenarios build the full iteration; staged scenarios build
+        *one microbatch at stage-subgroup width* (``batch /
+        microbatches`` per GPU on ``num_gpus / pipeline_stages``
+        devices) -- the unit the stage partitioner and the staged
+        simulator operate on.
+        """
+        batch = self.resolved_batch()
+        if batch % self.microbatches:
+            raise ValueError(
+                f"{self.microbatches} microbatches must divide the "
+                f"per-GPU batch {batch}"
+            )
         return build_training_graph(
             self.model_config(),
-            batch=self.resolved_batch(),
+            batch=batch // self.microbatches,
             seq=self.resolved_seq(),
-            num_gpus=self.num_gpus,
+            num_gpus=self.num_gpus // self.pipeline_stages,
         )
 
     def build_cluster(self) -> ClusterSpec:
@@ -178,6 +237,20 @@ def _presets() -> dict[str, Scenario]:
     out[tiny.with_(hot_experts=2, hot_boost=0.7).name] = tiny.with_(
         hot_experts=2, hot_boost=0.7
     )
+    # staged (hybrid pipeline x expert parallel) workloads: the CI-fast
+    # tiny pipeline, its hot-expert variant, and one paper-scale setting
+    staged_tiny = tiny.with_(pipeline_stages=2, microbatches=4)
+    out[staged_tiny.name] = staged_tiny
+    staged_hot = staged_tiny.with_(hot_experts=2, hot_boost=0.7)
+    out[staged_hot.name] = staged_hot
+    staged_s = Scenario(
+        model="GPT2-S-MoE",
+        cluster="a100",
+        num_gpus=16,
+        pipeline_stages=2,
+        microbatches=4,
+    )
+    out[staged_s.name] = staged_s
     return out
 
 

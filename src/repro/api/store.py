@@ -72,6 +72,13 @@ from .scenario import Scenario
 DEFAULT_KEY_DIGITS = 2
 
 
+def _plan_pipeline(plan: Plan) -> dict | None:
+    """The pipeline-request portion of a plan's store key (``None`` for
+    flat plans)."""
+    stage_map = getattr(plan, "stage_map", None)
+    return stage_map.request_dict() if stage_map is not None else None
+
+
 def signature_bucket(signatures: dict | None, digits: int = DEFAULT_KEY_DIGITS):
     """Quantized, canonical form of a signature mapping for cache keys
     (``None`` -- the uniform approximation -- buckets as ``None``)."""
@@ -191,6 +198,7 @@ class PlanStore:
         policy: PlanPolicy,
         framework: FrameworkProfile,
         placement=None,
+        pipeline=None,
     ) -> dict:
         payload = {
             "fingerprint": fingerprint,
@@ -206,6 +214,12 @@ class PlanStore:
             from ..placement import placement_map_fingerprint
 
             payload["placement"] = placement_map_fingerprint(placement)
+        if pipeline is not None:
+            # same optional-key pattern for staged plans: the *request*
+            # (stages/microbatches/schedule) is part of the identity --
+            # two schedules over the same graph must never share an
+            # entry -- while chosen boundaries are planner output
+            payload["pipeline"] = dict(pipeline)
         return payload
 
     def key_for(
@@ -216,10 +230,11 @@ class PlanStore:
         framework: FrameworkProfile,
         signatures: dict | None = None,
         placement=None,
+        pipeline=None,
     ) -> str:
         """Digest of the canonical cache key."""
         payload = self._base_payload(
-            fingerprint, cluster, policy, framework, placement
+            fingerprint, cluster, policy, framework, placement, pipeline
         )
         payload["signatures"] = signature_bucket(signatures, self.digits)
         return canonical_digest(payload)
@@ -231,11 +246,14 @@ class PlanStore:
         policy: PlanPolicy,
         framework: FrameworkProfile,
         placement=None,
+        pipeline=None,
     ) -> str:
         """Digest of the signature-free identity: the family of entries
         that differ only in their routing-signature bucket."""
         return canonical_digest(
-            self._base_payload(fingerprint, cluster, policy, framework, placement)
+            self._base_payload(
+                fingerprint, cluster, policy, framework, placement, pipeline
+            )
         )
 
     def path_for(self, key: str) -> pathlib.Path:
@@ -294,6 +312,7 @@ class PlanStore:
         framework: FrameworkProfile,
         signatures: dict | None = None,
         placement=None,
+        pipeline=None,
     ) -> Plan | None:
         """Warm plan for a key, or ``None`` on a miss.
 
@@ -302,7 +321,8 @@ class PlanStore:
         rather than deserializing garbage.
         """
         key = self.key_for(
-            fingerprint, cluster, policy, framework, signatures, placement
+            fingerprint, cluster, policy, framework, signatures, placement,
+            pipeline,
         )
         plan = self._load(key)
         self.stats["hits" if plan is not None else "misses"] += 1
@@ -368,6 +388,7 @@ class PlanStore:
             plan.framework,
             plan.signatures,
             plan.placement,
+            _plan_pipeline(plan),
         )
         path = plan.save(self.path_for(key))
         self._memory.pop(key, None)
@@ -467,6 +488,7 @@ class PlanStore:
             plan.policy,
             plan.framework,
             plan.placement,
+            _plan_pipeline(plan),
         )
         family = index.setdefault(base, {})
         family[key] = signature_bucket(plan.signatures, self.digits)
@@ -482,12 +504,13 @@ class PlanStore:
         policy: PlanPolicy,
         framework: FrameworkProfile,
         placement=None,
+        pipeline=None,
     ) -> dict[str, object]:
         """All stored ``{entry key: signature bucket}`` for one base
         identity (every plan of this graph/cluster/policy/framework/
-        placement, across routing buckets)."""
+        placement/pipeline-request, across routing buckets)."""
         base = self.base_key_for(
-            fingerprint, cluster, policy, framework, placement
+            fingerprint, cluster, policy, framework, placement, pipeline
         )
         return dict(self._read_signature_index().get(base, {}))
 
@@ -500,6 +523,7 @@ class PlanStore:
         signatures: dict | None = None,
         max_distance: float = 0.25,
         placement=None,
+        pipeline=None,
     ) -> tuple[Plan, float] | None:
         """Closest stored plan of the same base identity, by signature
         bucket (see :func:`bucket_distance`), within ``max_distance``.
@@ -512,7 +536,7 @@ class PlanStore:
         target = signature_bucket(signatures, self.digits)
         best_key, best_d = None, math.inf
         for key, bucket in self.neighbors(
-            fingerprint, cluster, policy, framework, placement
+            fingerprint, cluster, policy, framework, placement, pipeline
         ).items():
             d = bucket_distance(target, bucket)
             if d < best_d:

@@ -12,6 +12,7 @@ from . import (
     headline,
     imbalance,
     opt_time,
+    pipeline,
     placement,
     plan_serving,
     sim_throughput,
@@ -25,8 +26,9 @@ from .common import FigureResult
 #: extension: the per-device load-skew scenario family, "skew_sweep"
 #: compares uniform vs skew-aware plans across hotness, "topology"
 #: compares flat vs hierarchical (2-hop) all-to-all plans, "faults"
-#: runs the ISSUE 8 chaos drills over the fault-injection stack, and
-#: "placement" gates the ISSUE 9 expert placement optimizer)
+#: runs the ISSUE 8 chaos drills over the fault-injection stack,
+#: "placement" gates the ISSUE 9 expert placement optimizer, and
+#: "pipeline" gates the ISSUE 10 staged-pipeline planner)
 ALL_FIGURES = {
     "faults": fault_recovery.run,
     "fig02": fig02.run,
@@ -40,6 +42,7 @@ ALL_FIGURES = {
     "headline": headline.run,
     "imbalance": imbalance.run,
     "opt_time": opt_time.run,
+    "pipeline": pipeline.run,
     "placement": placement.run,
     "plan_serving": plan_serving.run,
     "sim_throughput": sim_throughput.run,

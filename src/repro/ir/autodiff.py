@@ -287,6 +287,18 @@ def build_backward(program: Program, loss: int) -> None:
     """
     contributions: dict[int, list[int]] = {}
     forward_instrs = list(program.instructions)
+    value_layer: dict[int, int] = {}
+
+    def stamp(start: int, layer: int | None) -> None:
+        # propagate the forward instruction's "layer" attr (when present)
+        # onto every backward instruction it spawned, so the pipeline
+        # stage-partitioner can place backward work with its forward block
+        if layer is None:
+            return
+        for new_instr in program.instructions[start:]:
+            new_instr.attrs.setdefault("layer", layer)
+            for out in new_instr.outputs:
+                value_layer.setdefault(out, layer)
 
     def total_grad(vid: int) -> int | None:
         """Materialize the accumulated gradient of a value (emitting adds)."""
@@ -302,6 +314,7 @@ def build_backward(program: Program, loss: int) -> None:
 
     for instr in reversed(forward_instrs):
         produces_loss = loss in instr.outputs
+        before = len(program.instructions)
         gouts = [total_grad(o) for o in instr.outputs]
         if not produces_loss and all(g is None for g in gouts):
             continue  # no gradient flows through this instruction
@@ -314,6 +327,7 @@ def build_backward(program: Program, loss: int) -> None:
                 f"grad rule for {instr.op} returned {len(gins)} grads "
                 f"for {len(instr.inputs)} inputs"
             )
+        stamp(before, instr.attrs.get("layer"))
         for vin, g in zip(instr.inputs, gins):
             if g is not None:
                 contributions.setdefault(vin, []).append(g)
@@ -321,8 +335,11 @@ def build_backward(program: Program, loss: int) -> None:
     # Re-point param grads at their fully accumulated versions (a param used
     # in several places, e.g. a tied embedding, accumulates here).
     for pid in program.params:
+        contribs = contributions.get(pid)
+        before = len(program.instructions)
         g = total_grad(pid)
         if g is not None:
+            stamp(before, value_layer.get(contribs[0]))
             program.grads[pid] = g
 
 
@@ -344,7 +361,10 @@ def insert_gradient_sync(program: Program, local_params: set[int]) -> None:
             if pa is None or pa in local_params:
                 continue
             (synced,) = program.add("allreduce", [out], kind=InstrKind.COMM)
-            new_instrs.append(program.instructions.pop())
+            sync_instr = program.instructions.pop()
+            if "layer" in instr.attrs:  # sync rides with its grad producer
+                sync_instr.attrs.setdefault("layer", instr.attrs["layer"])
+            new_instrs.append(sync_instr)
             replaced[out] = synced.id
             program.grads[pa] = synced.id
     program.instructions = new_instrs
@@ -354,6 +374,17 @@ def insert_gradient_sync(program: Program, local_params: set[int]) -> None:
 
 def insert_sgd(program: Program, lr: float = 0.01, momentum: float = 0.9) -> None:
     """Append SGD-with-momentum update instructions for every parameter."""
+    # each update rides with the block that consumes its parameter, so the
+    # pipeline stage-partitioner keeps optimizer state stage-local
+    params = set(program.params)
+    param_layer: dict[int, int] = {}
+    for instr in program.instructions:
+        layer = instr.attrs.get("layer")
+        if layer is None:
+            continue
+        for vin in instr.inputs:
+            if vin in params:
+                param_layer.setdefault(vin, layer)
     for pid in list(program.params):
         g = program.grads.get(pid)
         if g is None:
@@ -365,4 +396,6 @@ def insert_sgd(program: Program, lr: float = 0.01, momentum: float = 0.9) -> Non
             attrs={"lr": lr, "momentum": momentum},
             kind=InstrKind.OPTIMIZER,
         )
+        if pid in param_layer:
+            program.instructions[-1].attrs.setdefault("layer", param_layer[pid])
         program.outputs.extend([w2.id, m2.id])

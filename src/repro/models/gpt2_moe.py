@@ -60,19 +60,31 @@ def build_forward(
         TensorType((batch, seq), DType.I32, (Dim.BATCH, Dim.SEQ)), "labels"
     )
 
+    def stamp(start: int, layer: int) -> None:
+        # annotate block membership so the pipeline stage-partitioner can
+        # assign instructions to stages (attrs dicts are mutable on the
+        # otherwise-frozen Instruction)
+        for instr in p.instructions[start:]:
+            instr.attrs.setdefault("layer", layer)
+
     wte = ctx.param((cfg.vocab_size, cfg.hidden), (Dim.VOCAB, Dim.HIDDEN), "wte")
     wpe = ctx.param((seq, cfg.hidden), (Dim.SEQ, Dim.HIDDEN), "wpe")
     (x,) = p.add("embedding", [wte, ids.id], out_names=["tok_emb"])
     (x,) = p.add("pos_embedding", [x.id, wpe], out_names=["emb"])
+    stamp(0, 0)  # embeddings ride with the first block's stage
     xid = x.id
 
     for layer in range(cfg.num_layers):
+        block_start = len(p.instructions)
         xid = add_transformer_block(ctx, xid, layer)
+        stamp(block_start, layer)
 
+    head_start = len(p.instructions)
     xid = add_layernorm(ctx, xid, "ln_f")
     w_lm = ctx.param((cfg.hidden, cfg.vocab_size), (Dim.HIDDEN, Dim.VOCAB), "lm_head.w")
     (logits,) = p.add("matmul", [xid, w_lm], out_names=["logits"])
     (loss,) = p.add("cross_entropy", [logits.id, labels.id], out_names=["loss"])
+    stamp(head_start, cfg.num_layers - 1)  # head rides with the last block
     p.outputs.append(loss.id)
 
     return ModelGraph(

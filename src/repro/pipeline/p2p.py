@@ -1,0 +1,52 @@
+"""Point-to-point activation cost model for stage boundaries.
+
+Layered on the same alpha-beta conventions as the cluster's collective
+model (:class:`~repro.runtime.ClusterSpec`): alphas in microseconds,
+bandwidths in GB/s (1e9 bytes per second), times in milliseconds.
+
+Each device of stage ``s`` sends its activation shard to the
+corresponding rank of stage ``s+1`` (stages have equal subgroup sizes, so
+the transfer is a rank-to-rank bijection); the modeled time is one
+alpha-beta term over the boundary's link class -- NVLink when both ranks
+share a node, the per-GPU NIC share otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.cluster import ClusterSpec
+from .stage import StagedCluster
+
+
+@dataclass(frozen=True)
+class P2PCostModel:
+    """Alpha-beta cost of one rank-to-rank activation transfer."""
+
+    cluster: ClusterSpec
+
+    def time_ms(self, nbytes: float, inter_node: bool) -> float:
+        """Milliseconds to move ``nbytes`` across one boundary link."""
+        if nbytes <= 0:
+            return 0.0
+        if inter_node:
+            alpha_us = self.cluster.alpha_inter_us
+            bw_gbps = self.cluster.nic_per_gpu_gbps
+        else:
+            alpha_us = self.cluster.alpha_intra_us
+            bw_gbps = self.cluster.intra_bw_gbps
+        return alpha_us * 1e-3 + nbytes / (bw_gbps * 1e9) * 1e3
+
+    def boundary_times_ms(
+        self, staged: StagedCluster, boundary_bytes: list[float]
+    ) -> tuple[float, ...]:
+        """Per-boundary transfer times for ``S - 1`` activation sizes."""
+        if len(boundary_bytes) != staged.num_stages - 1:
+            raise ValueError(
+                f"{len(boundary_bytes)} boundary sizes for "
+                f"{staged.num_stages} stages"
+            )
+        return tuple(
+            self.time_ms(nbytes, staged.boundary_inter_node(b))
+            for b, nbytes in enumerate(boundary_bytes)
+        )

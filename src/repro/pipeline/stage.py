@@ -1,0 +1,264 @@
+"""Stage model for hybrid pipeline-parallel x expert-parallel topologies.
+
+A :class:`StagedCluster` partitions a base :class:`~repro.runtime.ClusterSpec`
+into ``S`` contiguous device subgroups, one per pipeline stage, and assigns
+each stage a contiguous run of transformer blocks.  Expert parallelism (and
+its all-to-alls) stays *within* a stage's subgroup; only point-to-point
+activation transfers cross stage boundaries -- the composed topology the
+ROADMAP names as the biggest scenario-diversity unlock (MixGCN's
+mixture-of-parallelism framing; MoNTA's traffic-aware parallelism split).
+
+:class:`StageMap` is the serializable summary of a staged plan (stage
+boundaries + microbatch schedule) that rides inside a
+:class:`~repro.api.Plan` and is folded into :class:`~repro.api.PlanStore`
+request keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..runtime.cluster import ClusterSpec
+
+#: microbatch schedules the staged simulator understands
+SCHEDULES = ("gpipe", "1f1b")
+
+
+def _subcluster(base: ClusterSpec, index: int, per_stage: int) -> ClusterSpec:
+    """The stage's own cluster spec: a contiguous slice of the base.
+
+    A stage owning whole nodes keeps the base intra/inter split; a stage
+    smaller than one node becomes a single-node group of its size.
+    """
+    if per_stage >= base.gpus_per_node:
+        if per_stage % base.gpus_per_node:
+            raise ValueError(
+                f"stage size {per_stage} must be a multiple of "
+                f"gpus_per_node {base.gpus_per_node}"
+            )
+        return dataclasses.replace(
+            base,
+            name=f"{base.name}/stage{index}",
+            num_nodes=per_stage // base.gpus_per_node,
+        )
+    if base.gpus_per_node % per_stage:
+        raise ValueError(
+            f"stage size {per_stage} must divide gpus_per_node "
+            f"{base.gpus_per_node}"
+        )
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}/stage{index}",
+        num_nodes=1,
+        gpus_per_node=per_stage,
+    )
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: contiguous blocks on a contiguous device slice."""
+
+    index: int
+    #: contiguous, ascending transformer-block indices this stage runs
+    layers: tuple[int, ...]
+    #: base-cluster rank of the first device in the stage's subgroup
+    first_device: int
+    #: the stage's own cluster spec (expert parallelism lives here)
+    cluster: ClusterSpec
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"stage {self.index} owns no layers")
+        if list(self.layers) != list(
+            range(self.layers[0], self.layers[-1] + 1)
+        ):
+            raise ValueError(
+                f"stage {self.index} layers {self.layers} are not contiguous"
+            )
+
+    @property
+    def num_devices(self) -> int:
+        return self.cluster.num_gpus
+
+    @property
+    def devices(self) -> range:
+        """Base-cluster ranks of this stage's subgroup."""
+        return range(self.first_device, self.first_device + self.num_devices)
+
+
+@dataclass(frozen=True)
+class StagedCluster:
+    """A base cluster partitioned into equal contiguous stage subgroups."""
+
+    base: ClusterSpec
+    stages: tuple[StageSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("need at least one stage")
+        expect = 0
+        for s in self.stages:
+            if s.first_device != expect:
+                raise ValueError(
+                    f"stage {s.index} starts at device {s.first_device}, "
+                    f"expected {expect} (stages must tile the cluster)"
+                )
+            expect += s.num_devices
+        if expect != self.base.num_gpus:
+            raise ValueError(
+                f"stages cover {expect} devices, cluster has "
+                f"{self.base.num_gpus}"
+            )
+        covered = [layer for s in self.stages for layer in s.layers]
+        if covered != list(range(len(covered))):
+            raise ValueError(
+                f"stage layers {covered} do not tile 0..{len(covered) - 1}"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_layers(self) -> int:
+        return sum(len(s.layers) for s in self.stages)
+
+    @property
+    def layer_counts(self) -> tuple[int, ...]:
+        return tuple(len(s.layers) for s in self.stages)
+
+    def stage_of_layer(self, layer: int) -> int:
+        for s in self.stages:
+            if layer in s.layers:
+                return s.index
+        raise KeyError(f"layer {layer} not owned by any stage")
+
+    def boundary_inter_node(self, boundary: int) -> bool:
+        """Whether boundary ``b`` (between stage b and b+1) crosses nodes.
+
+        Node membership is judged on the *base* cluster: the last device
+        of stage ``b`` vs the first device of stage ``b+1``.
+        """
+        sender = self.stages[boundary].devices[-1]
+        receiver = self.stages[boundary + 1].first_device
+        per_node = self.base.gpus_per_node
+        return sender // per_node != receiver // per_node
+
+    @classmethod
+    def from_layer_counts(
+        cls, base: ClusterSpec, layer_counts: tuple[int, ...] | list[int]
+    ) -> "StagedCluster":
+        """Build stages from explicit per-stage layer counts."""
+        counts = tuple(int(c) for c in layer_counts)
+        if any(c < 1 for c in counts):
+            raise ValueError(f"every stage needs >=1 layer, got {counts}")
+        num_stages = len(counts)
+        if base.num_gpus % num_stages:
+            raise ValueError(
+                f"{num_stages} stages must divide {base.num_gpus} devices"
+            )
+        per_stage = base.num_gpus // num_stages
+        stages = []
+        first_layer = 0
+        for i, c in enumerate(counts):
+            stages.append(
+                StageSpec(
+                    index=i,
+                    layers=tuple(range(first_layer, first_layer + c)),
+                    first_device=i * per_stage,
+                    cluster=_subcluster(base, i, per_stage),
+                )
+            )
+            first_layer += c
+        return cls(base=base, stages=tuple(stages))
+
+    @classmethod
+    def even(
+        cls, base: ClusterSpec, num_layers: int, num_stages: int
+    ) -> "StagedCluster":
+        """The naive even split: layers divided as equally as possible
+        (earlier stages take the remainder)."""
+        if num_stages < 1 or num_stages > num_layers:
+            raise ValueError(
+                f"need 1 <= stages <= layers, got {num_stages} stages "
+                f"for {num_layers} layers"
+            )
+        q, r = divmod(num_layers, num_stages)
+        return cls.from_layer_counts(
+            base, [q + (1 if i < r else 0) for i in range(num_stages)]
+        )
+
+
+@dataclass(frozen=True)
+class StageMap:
+    """Serializable summary of a staged plan: boundaries + schedule.
+
+    The *request* part (stage count, microbatches, schedule) identifies
+    what was asked for and folds into :class:`~repro.api.PlanStore` keys;
+    the *chosen* part (per-stage layer counts, predicted pipeline time)
+    is planner output carried for auditability.
+    """
+
+    num_stages: int
+    microbatches: int
+    schedule: str
+    layer_counts: tuple[int, ...]
+    predicted_pipeline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; pick from {SCHEDULES}"
+            )
+        if len(self.layer_counts) != self.num_stages:
+            raise ValueError(
+                f"{len(self.layer_counts)} layer counts for "
+                f"{self.num_stages} stages"
+            )
+        if self.microbatches < 1:
+            raise ValueError("microbatches must be >= 1")
+
+    def layers_of(self, stage: int) -> range:
+        start = sum(self.layer_counts[:stage])
+        return range(start, start + self.layer_counts[stage])
+
+    def request_dict(self) -> dict:
+        """The store-key fold: what a staged compile *requests* (the
+        chosen boundaries are planner output, unknown at lookup time)."""
+        return {
+            "num_stages": self.num_stages,
+            "microbatches": self.microbatches,
+            "schedule": self.schedule,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "num_stages": self.num_stages,
+            "microbatches": self.microbatches,
+            "schedule": self.schedule,
+            "layer_counts": list(self.layer_counts),
+            "predicted_pipeline_ms": self.predicted_pipeline_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "StageMap":
+        return cls(
+            num_stages=int(obj["num_stages"]),
+            microbatches=int(obj["microbatches"]),
+            schedule=str(obj["schedule"]),
+            layer_counts=tuple(int(c) for c in obj["layer_counts"]),
+            predicted_pipeline_ms=obj.get("predicted_pipeline_ms"),
+        )
+
+    def describe(self) -> str:
+        counts = "+".join(str(c) for c in self.layer_counts)
+        pred = (
+            f", predicted {self.predicted_pipeline_ms:.3f} ms"
+            if self.predicted_pipeline_ms is not None
+            else ""
+        )
+        return (
+            f"{self.num_stages} stages (layers {counts}), "
+            f"{self.microbatches} microbatches, {self.schedule}{pred}"
+        )

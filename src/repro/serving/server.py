@@ -566,6 +566,7 @@ class PlanServer:
             resolved.policy,
             resolved.framework,
             resolved.signatures,
+            pipeline=resolved.pipeline,
         )
         if plan is not None:
             with self._lock:
@@ -582,6 +583,7 @@ class PlanServer:
                 resolved.framework,
                 resolved.signatures,
                 self.max_distance,
+                pipeline=resolved.pipeline,
             )
             if near is not None:
                 neighbor, distance = near
@@ -720,6 +722,7 @@ class PlanServer:
             resolved.framework,
             resolved.signatures,
             math.inf,
+            pipeline=resolved.pipeline,
         )
         if stale is not None:
             plan, distance = stale
@@ -836,12 +839,15 @@ class PlanServer:
         server: written to the shared store and installed in the memory
         cache, so subsequent requests for its identity are warm."""
         self._store_put(plan, index_scenario=index_scenario)
+        from ..api.store import _plan_pipeline
+
         key = self.store.key_for(
             plan.fingerprint,
             plan.cluster,
             plan.policy,
             plan.framework,
             plan.signatures,
+            pipeline=_plan_pipeline(plan),
         )
         with self._lock:
             if self._memory is not None:

@@ -255,6 +255,47 @@ def make_drift_trace(
     return trace
 
 
+def st_staged_cluster():
+    """Strategy over valid :class:`~repro.pipeline.StagedCluster`\\ s:
+    single- and multi-node base clusters tiled into 2-4 stages with
+    randomized per-stage layer counts -- the topology space the pipeline
+    property suite quantifies over.  Every shape satisfies the stage
+    constraints (stages divide the GPU count; subgroups align with node
+    boundaries or divide a node)."""
+    from hypothesis import strategies as st
+
+    from .pipeline import StagedCluster
+    from .runtime import ClusterSpec
+
+    shapes = st.sampled_from(
+        [
+            ("a100", 4, 2),
+            ("a100", 8, 2),
+            ("a100", 8, 4),
+            ("v100", 16, 2),
+            ("v100", 16, 4),
+        ]
+    )
+
+    def build(params):
+        (kind, gpus, num_stages), seed = params
+        rng = np.random.default_rng(seed)
+        counts = [int(rng.integers(1, 4)) for _ in range(num_stages)]
+        return StagedCluster.from_layer_counts(
+            ClusterSpec.for_gpus(kind, gpus), counts
+        )
+
+    return st.tuples(shapes, st.integers(0, 2**16)).map(build)
+
+
+def st_microbatch_count(max_microbatches: int = 8):
+    """Strategy over pipeline microbatch counts (>= 1, small enough to
+    keep staged-schedule properties fast)."""
+    from hypothesis import strategies as st
+
+    return st.integers(1, max_microbatches)
+
+
 def st_simulation_scenario(num_gpus: int):
     """Strategy over (routing model, straggler map, protocol flags) --
     one scenario for the batch-vs-scalar differential harness."""

@@ -26,6 +26,7 @@ class TestRegistry:
             "headline",
             "imbalance",
             "opt_time",
+            "pipeline",
             "placement",
             "plan_serving",
             "sim_throughput",

@@ -81,6 +81,7 @@ _COVERED_MODULES = (
     "repro.serving",
     "repro.faults",
     "repro.placement",
+    "repro.pipeline",
 )
 
 
